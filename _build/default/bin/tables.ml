@@ -1,0 +1,57 @@
+(* Regenerate the paper's Table 2 (speedups across the five processors)
+   and Table 3 (static/dynamic operation-count ratios, medium processor)
+   over the full benchmark suite.  `tables --quick` runs a three-workload
+   subset. *)
+
+module W = Cpr_workloads
+module P = Cpr_pipeline
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let suite =
+    if quick then
+      List.filter_map W.Registry.find [ "strcpy"; "grep"; "099.go" ]
+    else W.Registry.all
+  in
+  let results =
+    List.map
+      (fun (w : W.Workload.t) ->
+        let r =
+          P.Report.run ~name:w.W.Workload.name (w.W.Workload.build ())
+            (w.W.Workload.inputs ())
+        in
+        (match r.P.Report.equivalent with
+        | Ok () -> ()
+        | Error e ->
+          Format.eprintf "WARNING %s: equivalence failure: %s@."
+            w.W.Workload.name e);
+        Format.eprintf "  [%s done]@.%!" w.W.Workload.name;
+        r)
+      suite
+  in
+  Format.printf "@.Table 2: ICBM speedup by processor (paper Table 2)@.@.";
+  P.Report.print_table2 Format.std_formatter results;
+  let spec95 =
+    List.filter
+      (fun (r : P.Report.result) ->
+        List.mem r.P.Report.name W.Registry.spec95_names)
+      results
+  in
+  if spec95 <> [] then begin
+    Format.printf "%-14s" "Gmean-spec95";
+    List.iter
+      (fun (m : Cpr_machine.Descr.t) ->
+        let col =
+          List.map
+            (fun (r : P.Report.result) ->
+              List.assoc m.Cpr_machine.Descr.name r.P.Report.speedups)
+            spec95
+        in
+        Format.printf "%8.2f" (P.Report.gmean col))
+      Cpr_machine.Descr.all;
+    Format.printf "@."
+  end;
+  Format.printf
+    "@.Table 3: static/dynamic operation-count ratios, medium processor \
+     (paper Table 3)@.@.";
+  P.Report.print_table3 Format.std_formatter results

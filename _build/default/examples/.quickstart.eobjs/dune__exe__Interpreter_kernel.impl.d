@@ -1,0 +1,1 @@
+examples/interpreter_kernel.ml: Cpr_machine Cpr_pipeline Cpr_sched Cpr_sim Cpr_workloads Format List Option

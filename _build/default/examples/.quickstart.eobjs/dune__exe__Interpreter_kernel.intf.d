@@ -1,0 +1,1 @@
+examples/interpreter_kernel.mli:

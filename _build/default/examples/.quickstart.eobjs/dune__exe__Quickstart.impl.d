@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cpr_core Cpr_ir Cpr_machine Cpr_pipeline Cpr_sched Cpr_sim Cpr_workloads Format List Op Option Printer Prog Reg Region String Validate

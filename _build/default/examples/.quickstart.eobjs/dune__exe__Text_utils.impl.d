@@ -1,0 +1,1 @@
+examples/text_utils.ml: Cpr_pipeline Cpr_workloads Format List Option

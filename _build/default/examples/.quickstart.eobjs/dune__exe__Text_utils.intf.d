@@ -1,0 +1,1 @@
+examples/text_utils.mli:

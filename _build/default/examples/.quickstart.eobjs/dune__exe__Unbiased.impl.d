@@ -1,0 +1,1 @@
+examples/unbiased.ml: Cpr_analysis Cpr_core Cpr_ir Cpr_pipeline Cpr_workloads Format List Option Prog

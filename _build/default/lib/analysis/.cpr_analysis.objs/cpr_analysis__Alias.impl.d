@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Array Cpr_ir List Op Prog Reg Region

@@ -1,0 +1,1 @@
+lib/analysis/alias.mli: Cpr_ir Prog Reg Region

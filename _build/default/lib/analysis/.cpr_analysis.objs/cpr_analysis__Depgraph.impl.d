@@ -1,0 +1,1 @@
+lib/analysis/depgraph.ml: Alias Array Cpr_ir Cpr_machine Format List Liveness Op Option Pqs Pred_env Prog Reg Region

@@ -1,0 +1,1 @@
+lib/analysis/depgraph.mli: Cpr_ir Cpr_machine Format Liveness Op Prog Reg Region

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Cpr_ir Hashtbl List Op Option Pqs Pred_env Prog Reg Region

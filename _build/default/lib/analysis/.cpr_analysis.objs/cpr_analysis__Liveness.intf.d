@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Cpr_ir Op Pqs Pred_env Prog Reg Region

@@ -1,0 +1,1 @@
+lib/analysis/pqs.ml: Cpr_ir Format Int List Reg

@@ -1,0 +1,1 @@
+lib/analysis/pqs.mli: Cpr_ir Format Reg

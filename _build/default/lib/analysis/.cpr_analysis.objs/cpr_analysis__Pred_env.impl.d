@@ -1,0 +1,1 @@
+lib/analysis/pred_env.ml: Array Cpr_ir Hashtbl List Op Pqs Reg Region

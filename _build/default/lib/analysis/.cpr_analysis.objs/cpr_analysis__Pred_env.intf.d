@@ -1,0 +1,1 @@
+lib/analysis/pred_env.mli: Cpr_ir Op Pqs Reg Region

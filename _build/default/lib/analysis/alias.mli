@@ -1,0 +1,34 @@
+open Cpr_ir
+
+(** Lightweight symbolic memory-address analysis within a region.
+
+    Load/store addresses are chased through unguarded copy and
+    add-immediate chains to a base/offset form.  Two accesses are
+    independent when they share a base value and have different offsets,
+    or when their bases are distinct registers declared pairwise
+    non-overlapping in [Prog.noalias_bases]. *)
+
+type base =
+  | Entry_base of Reg.t  (** region-entry value of the register *)
+  | Const_base  (** absolute address *)
+  | Segment of Reg.t * int
+      (** [root + index]: an address computed by adding an opaque index
+          (the op with the given id) to a declared array base — accesses
+          rooted at distinct non-overlapping bases never alias *)
+  | Opaque of int  (** value produced by the op with this id *)
+
+type addr = {
+  base : base;
+  off : int;
+}
+
+type t
+
+val analyze : Prog.t -> Region.t -> t
+
+val addr_of : t -> int -> addr option
+(** Address of the memory op at this op index; [None] for non-memory ops
+    or unresolvable addresses. *)
+
+val independent : t -> int -> int -> bool
+(** May the two memory ops at these indices never touch the same cell? *)

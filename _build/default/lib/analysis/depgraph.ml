@@ -1,0 +1,245 @@
+open Cpr_ir
+
+type kind =
+  | Flow of Reg.t
+  | Anti of Reg.t
+  | Output of Reg.t
+  | Mem_flow
+  | Mem_anti
+  | Mem_output
+  | Ctrl
+  | Exit_live of Reg.t
+  | Br_anticipation
+
+type edge = {
+  src : int;
+  dst : int;
+  kind : kind;
+  latency : int;
+}
+
+type t = {
+  ops : Op.t array;
+  lat : int array;
+  edges : edge list;
+  preds : edge list array;
+  succs : edge list array;
+}
+
+type flavor =
+  | Or_acc
+  | And_acc
+
+type access =
+  | Use
+  | Def  (** plain destination write *)
+  | Acc of flavor  (** wired-or / wired-and read-modify-write *)
+
+let flavor_of_action = function
+  | Op.On | Op.Oc -> Some Or_acc
+  | Op.An | Op.Ac -> Some And_acc
+  | Op.Un | Op.Uc -> None
+
+(* Accesses of one op to one register, in evaluation order (uses first). *)
+let accesses (op : Op.t) (r : Reg.t) =
+  let plain_uses =
+    List.filter_map
+      (function Op.Reg x when Reg.equal x r -> Some Use | _ -> None)
+      op.Op.srcs
+    @ (match op.Op.guard with
+      | Op.If g when Reg.equal g r -> [ Use ]
+      | Op.If _ | Op.True -> [])
+  in
+  let dest_accesses =
+    match op.Op.opcode with
+    | Op.Cmpp (_, a1, a2) ->
+      let acts = a1 :: Option.to_list a2 in
+      List.concat_map
+        (fun (act, d) ->
+          if Reg.equal d r then
+            [ (match flavor_of_action act with Some f -> Acc f | None -> Def) ]
+          else [])
+        (List.combine acts op.Op.dests)
+    | _ -> List.filter_map
+             (fun d -> if Reg.equal d r then Some Def else None)
+             op.Op.dests
+  in
+  plain_uses @ dest_accesses
+
+(* Does the op unconditionally kill [r]?  Guarded plain defs and
+   accumulator writes do not; UN/UC cmpp destinations write even under a
+   false guard. *)
+let kills_unconditionally (op : Op.t) r =
+  List.exists (Reg.equal r) (Op.writes_when_guard_false op)
+  || (op.Op.guard = Op.True
+     && List.exists (Reg.equal r) (Op.defs op)
+     && not (List.exists (Reg.equal r) (Op.accumulator_dests op)))
+
+let all_regs ops =
+  Array.fold_left
+    (fun acc op ->
+      List.fold_left (fun acc r -> Reg.Set.add r acc) acc
+        (Op.defs op @ Op.uses op))
+    Reg.Set.empty ops
+
+let build machine (prog : Prog.t) liveness (region : Region.t) =
+  let ops = Array.of_list region.Region.ops in
+  let n = Array.length ops in
+  let lat = Array.map (Cpr_machine.Descr.latency_of machine) ops in
+  let env = Pred_env.analyze region in
+  let guard_expr = Array.init n (Pred_env.guard_expr env) in
+  let edges = ref [] in
+  let add src dst kind latency = edges := { src; dst; kind; latency } :: !edges in
+
+  (* Register dependences, one register at a time. *)
+  let reg_edges r =
+    let evs =
+      List.concat
+        (List.init n (fun i ->
+             List.map (fun a -> (i, a)) (accesses ops.(i) r)))
+    in
+    let rec pairs = function
+      | [] -> ()
+      | (i, ai) :: rest ->
+        let killed = ref false in
+        List.iter
+          (fun (j, aj) ->
+            if i <> j && not !killed then begin
+              (match (ai, aj) with
+              | Acc f1, Acc f2 when f1 = f2 -> ()
+              | (Def | Acc _), Use -> add i j (Flow r) lat.(i)
+              | Use, (Def | Acc _) -> add i j (Anti r) (1 - lat.(j))
+              | (Def | Acc _), Acc _ -> add i j (Flow r) lat.(i)
+              | (Def | Acc _), Def -> add i j (Output r) (lat.(i) - lat.(j) + 1)
+              | Use, Use -> ());
+              (* Stop extending pairs from [i] past an unconditional kill:
+                 transitivity through the killer preserves ordering.  The
+                 kill takes effect at the killer's *definition* event —
+                 a read-modify-write op's own use event must not hide its
+                 def from earlier events. *)
+              if
+                (match aj with
+                | Def -> kills_unconditionally ops.(j) r
+                | Acc _ | Use -> false)
+                && j > i
+              then killed := true
+            end)
+          rest;
+        pairs rest
+    in
+    pairs evs
+  in
+  Reg.Set.iter reg_edges (all_regs ops);
+
+  (* Memory dependences. *)
+  let alias = Alias.analyze prog region in
+  for i = 0 to n - 1 do
+    if Op.is_mem ops.(i) then
+      for j = i + 1 to n - 1 do
+        if
+          Op.is_mem ops.(j)
+          && (Op.is_store ops.(i) || Op.is_store ops.(j))
+          && (not (Alias.independent alias i j))
+          && not (Pqs.disjoint guard_expr.(i) guard_expr.(j))
+        then
+          match (Op.is_store ops.(i), Op.is_store ops.(j)) with
+          | true, false -> add i j Mem_flow lat.(i)
+          | false, true -> add i j Mem_anti 0
+          | true, true -> add i j Mem_output 1
+          | false, false -> ()
+      done
+  done;
+
+  (* Control dependences around branches. *)
+  for b = 0 to n - 1 do
+    if Op.is_branch ops.(b) then begin
+      let taken = guard_expr.(b) in
+      let live = Liveness.live_at_target liveness region ops.(b) in
+      (* Forward: ops after the branch. *)
+      for j = b + 1 to n - 1 do
+        let opj = ops.(j) in
+        if not (Pqs.disjoint taken guard_expr.(j)) then
+          if Op.is_branch opj || Op.is_store opj then add b j Ctrl lat.(b)
+          else
+            List.iter
+              (fun d ->
+                if Reg.Set.mem d live then add b j (Exit_live d) lat.(b))
+              (Op.defs opj)
+      done;
+      (* Backward: effects the taken path needs must land before control
+         transfers at [issue(b) + lat(b)]. *)
+      for i = 0 to b - 1 do
+        let opi = ops.(i) in
+        if not (Pqs.disjoint guard_expr.(i) taken) then
+          if Op.is_store opi then
+            add i b Br_anticipation (lat.(i) - lat.(b))
+          else if
+            List.exists (fun d -> Reg.Set.mem d live) (Op.defs opi)
+          then add i b Br_anticipation (lat.(i) - lat.(b))
+      done
+    end
+  done;
+
+  let preds = Array.make n [] and succs = Array.make n [] in
+  List.iter
+    (fun e ->
+      succs.(e.src) <- e :: succs.(e.src);
+      preds.(e.dst) <- e :: preds.(e.dst))
+    !edges;
+  { ops; lat; edges = !edges; preds; succs }
+
+let n_ops t = Array.length t.ops
+let op t i = t.ops.(i)
+let edges t = t.edges
+let preds t i = t.preds.(i)
+let succs t i = t.succs.(i)
+
+(* Edges always point from lower to higher op index except none do —
+   all constructed edges satisfy src < dst — so program order is a
+   topological order. *)
+let asap t =
+  let n = n_ops t in
+  let a = Array.make n 0 in
+  for j = 0 to n - 1 do
+    List.iter
+      (fun e -> a.(j) <- max a.(j) (a.(e.src) + e.latency))
+      t.preds.(j)
+  done;
+  a
+
+let height t =
+  let a = asap t in
+  let h = ref 0 in
+  for i = 0 to n_ops t - 1 do
+    h := max !h (a.(i) + t.lat.(i))
+  done;
+  !h
+
+let priority t =
+  let n = n_ops t in
+  let p = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    p.(i) <- t.lat.(i);
+    List.iter (fun e -> p.(i) <- max p.(i) (e.latency + p.(e.dst))) t.succs.(i)
+  done;
+  p
+
+let kind_name = function
+  | Flow r -> "flow:" ^ Reg.to_string r
+  | Anti r -> "anti:" ^ Reg.to_string r
+  | Output r -> "out:" ^ Reg.to_string r
+  | Mem_flow -> "mem-flow"
+  | Mem_anti -> "mem-anti"
+  | Mem_output -> "mem-out"
+  | Ctrl -> "ctrl"
+  | Exit_live r -> "exit-live:" ^ Reg.to_string r
+  | Br_anticipation -> "br-anticipation"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%d -> %d  %s (lat %d)@,"
+        t.ops.(e.src).Op.id t.ops.(e.dst).Op.id (kind_name e.kind) e.latency)
+    (List.rev t.edges);
+  Format.fprintf ppf "@]"

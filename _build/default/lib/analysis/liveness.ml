@@ -1,0 +1,102 @@
+open Cpr_ir
+
+type t = {
+  prog : Prog.t;
+  table : (string, Reg.Set.t) Hashtbl.t;
+}
+
+let boundary (p : Prog.t) = Reg.Set.of_list p.Prog.live_out
+
+let live_in t label =
+  if Prog.is_exit t.prog label then boundary t.prog
+  else Option.value ~default:Reg.Set.empty (Hashtbl.find_opt t.table label)
+
+let kills (op : Op.t) =
+  let unconditional =
+    match op.Op.guard with
+    | Op.True ->
+      List.filter
+        (fun d -> not (List.exists (Reg.equal d) (Op.accumulator_dests op)))
+        op.Op.dests
+    | Op.If _ -> []
+  in
+  unconditional @ Op.writes_when_guard_false op
+
+(* Backward transfer through one region given liveness at its exits. *)
+let transfer t (r : Region.t) =
+  let live =
+    ref
+      (match r.Region.fallthrough with
+      | Some l -> live_in t l
+      | None -> boundary t.prog)
+  in
+  let step (op : Op.t) =
+    if Op.is_branch op then begin
+      match Region.branch_target r op with
+      | Some target -> live := Reg.Set.union !live (live_in t target)
+      | None -> ()
+    end;
+    live := Reg.Set.diff !live (Reg.Set.of_list (kills op));
+    live := Reg.Set.union !live (Reg.Set.of_list (Op.uses op))
+  in
+  List.iter step (List.rev r.Region.ops);
+  !live
+
+let analyze (prog : Prog.t) =
+  let t = { prog; table = Hashtbl.create 17 } in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Region.t) ->
+        let nu = transfer t r in
+        let old =
+          Option.value ~default:Reg.Set.empty
+            (Hashtbl.find_opt t.table r.Region.label)
+        in
+        if not (Reg.Set.equal nu old) then begin
+          Hashtbl.replace t.table r.Region.label nu;
+          changed := true
+        end)
+      (List.rev (Prog.regions prog))
+  done;
+  t
+
+let live_at_target t (r : Region.t) (br : Op.t) =
+  match Region.branch_target r br with
+  | Some target -> live_in t target
+  | None -> boundary t.prog
+
+let live_out_region t (r : Region.t) =
+  match r.Region.fallthrough with
+  | Some l -> live_in t l
+  | None -> boundary t.prog
+
+let live_expr_after t env (r : Region.t) idx reg =
+  let ops = Pred_env.ops env in
+  let n = Array.length ops in
+  let acc = ref Pqs.fls in
+  let path = ref Pqs.tru in
+  (try
+     for j = idx + 1 to n - 1 do
+       let op = ops.(j) in
+       if List.exists (Reg.equal reg) (Op.uses op) then
+         acc := Pqs.or_ !acc (Pqs.and_ !path (Pred_env.guard_expr env j));
+       if Op.is_branch op then begin
+         if Reg.Set.mem reg (live_at_target t r op) then
+           acc :=
+             Pqs.or_ !acc (Pqs.and_ !path (Pred_env.taken_expr env j));
+         path := Pqs.and_ !path (Pqs.not_ (Pred_env.taken_expr env j))
+       end;
+       (* An unconditional kill ends the scan: nothing past it can read the
+          value present after [idx]. *)
+       if List.exists (Reg.equal reg) (kills op) then raise Exit
+     done;
+     if Reg.Set.mem reg (live_out_region t r) then
+       acc := Pqs.or_ !acc !path
+   with Exit -> ());
+  (* Everything above is relative to control being at [idx]; conjoining
+     with the path condition that reaches [idx] removes spurious
+     "an earlier exit was taken" disjuncts introduced by negating later
+     branches' taken-expressions. *)
+  Pqs.and_ (Pred_env.path_cond env 0 (idx + 1)) !acc

@@ -1,0 +1,29 @@
+open Cpr_ir
+
+(** Predicate-aware global liveness over the region graph.
+
+    Guarded definitions do not kill (the guard may be false); the
+    unconditional destinations of [cmpp] and unguarded [Pred_init] do.
+    Exit labels use the program's [live_out] declaration as boundary
+    condition. *)
+
+type t
+
+val analyze : Prog.t -> t
+
+val live_in : t -> string -> Reg.Set.t
+(** Registers live on entry to a label (program [live_out] for exit
+    labels). *)
+
+val live_at_target : t -> Region.t -> Op.t -> Reg.Set.t
+(** Registers live at the target of a branch of the region. *)
+
+val live_out_region : t -> Region.t -> Reg.Set.t
+(** Registers live when the region is exited by falling through. *)
+
+val live_expr_after : t -> Pred_env.t -> Region.t -> int -> Reg.t -> Pqs.t
+(** Symbolic condition under which register [r] is live just after the op
+    at the given index: the disjunction over downstream uses (and exits
+    where [r] is live) of the path condition to reach them conjoined with
+    the use's guard expression.  Over-approximate; used to decide predicate
+    promotion legality ([live_expr] must imply the current guard). *)

@@ -1,0 +1,56 @@
+open Cpr_ir
+
+(** Predicate query system.
+
+    Elcor's "predicate-cognizant" analyses (Johnson & Schlansker, MICRO-29)
+    answer queries such as "are these two predicates disjoint?".  We
+    represent each predicate value as a boolean expression in
+    disjunctive normal form over {e condition literals}: one literal per
+    [cmpp] operation instance (both destinations of a [cmpp] share the
+    literal, with opposite polarities for UN/UC), plus opaque literals for
+    predicates that are live into a region.
+
+    Distinct literals are treated as independent, which makes every
+    positive answer sound (a syntactic contradiction in every conjunction
+    pair is a genuine one) and negative answers conservative.  Expressions
+    that exceed a size cap degrade to {!unknown}, for which every query
+    answers "cannot prove". *)
+
+type key =
+  | Cond of int  (** condition computed by the [cmpp] with this op id *)
+  | Entry of int  (** opaque: predicate register live into the region *)
+
+type t
+
+val tru : t
+val fls : t
+val unknown : t
+val const : bool -> t
+val cond_lit : int -> t
+val entry_lit : Reg.t -> t
+
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val not_ : t -> t
+
+val is_const_false : t -> bool
+val is_const_true : t -> bool
+val is_unknown : t -> bool
+
+val disjoint : t -> t -> bool
+(** [disjoint a b] proves that [a] and [b] are never simultaneously true.
+    False means "cannot prove". *)
+
+val implies : t -> t -> bool
+(** [implies a b] proves that whenever [a] holds, [b] holds. *)
+
+val eval : (key -> bool) -> t -> bool option
+(** Evaluate under a truth assignment of the literals; [None] for
+    {!unknown}.  Used by property tests to cross-check {!disjoint} and
+    {!implies} against brute force. *)
+
+val keys : t -> key list
+(** Distinct literal keys appearing in the expression (empty for
+    {!unknown}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+open Cpr_ir
+
+(** Symbolic predicate environments for a region.
+
+    Scans a region top-down and assigns each predicate definition a {!Pqs}
+    expression (relative to region entry): [cmpp] destinations get
+    expressions over that cmpp's condition literal and the guard's
+    expression, honouring the UN/UC/ON/OC/AN/AC semantics of Table 1;
+    predicates live into the region get opaque entry literals; a [cmpp]
+    whose two sources are both immediates folds to a constant. *)
+
+type t
+
+val analyze : Region.t -> t
+
+val ops : t -> Op.t array
+
+val guard_expr : t -> int -> Pqs.t
+(** Expression of the guard of the op at this index, in the environment at
+    that point.  [tru] for unguarded ops. *)
+
+val reg_expr_before : t -> int -> Reg.t -> Pqs.t
+(** Value of a predicate register just before the op at this index. *)
+
+val reg_expr_at_end : t -> Reg.t -> Pqs.t
+
+val taken_expr : t -> int -> Pqs.t
+(** For a branch at this index: the condition under which it takes
+    (its guard expression). *)
+
+val path_cond : t -> int -> int -> Pqs.t
+(** [path_cond t i j] with [i <= j]: the condition that sequential control
+    started at op [i] reaches op [j], i.e. the conjunction of the negated
+    taken-expressions of the branches in [i, j). *)
+
+val fallthrough_expr : t -> Pqs.t
+(** Condition that the region is exited by falling through: no branch
+    takes. *)

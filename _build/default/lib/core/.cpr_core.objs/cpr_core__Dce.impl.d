@@ -1,0 +1,1 @@
+lib/core/dce.ml: Cpr_ir List Op Prog Reg Region

@@ -1,0 +1,1 @@
+lib/core/frp.ml: Array Cpr_ir List Op Option Prog Reg Region

@@ -1,0 +1,1 @@
+lib/core/frp.mli: Cpr_ir Prog Region

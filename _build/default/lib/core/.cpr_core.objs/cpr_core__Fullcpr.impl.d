@@ -1,0 +1,1 @@
+lib/core/fullcpr.ml: Array Cpr_ir Hashtbl List Op Prog Reg Region

@@ -1,0 +1,1 @@
+lib/core/fullcpr.mli: Cpr_ir Prog Region

@@ -1,0 +1,1 @@
+lib/core/heur.ml: Cpr_machine

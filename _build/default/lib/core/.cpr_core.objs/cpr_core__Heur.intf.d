@@ -1,0 +1,1 @@
+lib/core/heur.mli: Cpr_machine

@@ -1,0 +1,1 @@
+lib/core/icbm.ml: Array Cpr_analysis Cpr_ir Cpr_machine Dce Format Frp Fun Heur List Match_blocks Offtrace Op Option Prog Queue Reg Region Restructure Spec String Sys

@@ -1,0 +1,1 @@
+lib/core/icbm.mli: Cpr_analysis Cpr_ir Format Heur Match_blocks Op Prog Region Restructure

@@ -1,0 +1,1 @@
+lib/core/ifconv.ml: Cpr_ir List Op Option Prog Reg Region

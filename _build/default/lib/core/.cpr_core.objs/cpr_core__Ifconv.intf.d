@@ -1,0 +1,1 @@
+lib/core/ifconv.mli: Cpr_ir Prog Region

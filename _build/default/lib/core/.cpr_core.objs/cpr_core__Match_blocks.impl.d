@@ -1,0 +1,1 @@
+lib/core/match_blocks.ml: Array Cpr_analysis Cpr_ir Cpr_machine Format Fun Hashtbl Heur List Op Option Prog Queue Reg Region String

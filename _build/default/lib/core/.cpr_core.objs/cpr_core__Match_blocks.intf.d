@@ -1,0 +1,1 @@
+lib/core/match_blocks.mli: Cpr_analysis Cpr_ir Format Heur Op Prog Region

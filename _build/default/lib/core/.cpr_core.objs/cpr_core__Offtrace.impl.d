@@ -1,0 +1,1 @@
+lib/core/offtrace.ml: Array Cpr_analysis Cpr_ir Cpr_machine Format Fun Hashtbl List Op Option Printf Prog Queue Reg Region Restructure String Sys

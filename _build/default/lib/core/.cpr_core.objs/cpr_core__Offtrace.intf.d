@@ -1,0 +1,1 @@
+lib/core/offtrace.mli: Cpr_ir Prog Region Restructure

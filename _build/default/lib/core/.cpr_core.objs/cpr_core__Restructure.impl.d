@@ -1,0 +1,1 @@
+lib/core/restructure.ml: Cpr_ir List Op Option Printf Prog Reg Region

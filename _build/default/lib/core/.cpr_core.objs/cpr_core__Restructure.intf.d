@@ -1,0 +1,1 @@
+lib/core/restructure.mli: Cpr_ir Op Prog Reg Region

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Array Cpr_analysis Cpr_ir Hashtbl Int List Op Prog Reg Region

@@ -1,0 +1,1 @@
+lib/core/spec.mli: Cpr_ir Prog Region

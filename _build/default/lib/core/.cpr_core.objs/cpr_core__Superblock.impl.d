@@ -1,0 +1,1 @@
+lib/core/superblock.ml: Cpr_ir Hashtbl Int List Op Prog Region

@@ -1,0 +1,1 @@
+lib/core/superblock.mli: Cpr_ir Prog

@@ -1,0 +1,1 @@
+lib/core/unroll.ml: Cpr_analysis Cpr_ir List Op Prog Reg Region

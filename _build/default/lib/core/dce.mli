@@ -1,0 +1,12 @@
+open Cpr_ir
+
+(** Dead-code elimination run after ICBM (Section 5, Figure 7(c)):
+    removes operations none of whose destinations are referenced anywhere
+    in the program (stores and branches are never removed), and drops dead
+    unconditional (UN/UC) destinations from two-target compares.
+    Accumulator (wired-or/and) destinations are kept, mirroring the
+    paper's example where the unused off-trace FRP of a likely-taken CPR
+    block survives DCE. *)
+
+val run : Prog.t -> int
+(** Number of operations removed (destination drops not counted). *)

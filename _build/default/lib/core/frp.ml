@@ -1,0 +1,97 @@
+open Cpr_ir
+
+(* The unique in-region cmpp computing [p] through a UN destination,
+   before position [limit]. *)
+let un_def_of ops limit p =
+  let defs = ref [] in
+  List.iteri
+    (fun i (op : Op.t) ->
+      if i < limit then
+        match op.Op.opcode with
+        | Op.Cmpp (_, a1, a2) ->
+          let acts = a1 :: Option.to_list a2 in
+          List.iter2
+            (fun act d -> if act = Op.Un && Reg.equal d p then defs := i :: !defs)
+            acts op.Op.dests
+        | _ ->
+          if List.exists (Reg.equal p) op.Op.dests then defs := (-1) :: !defs)
+    ops;
+  match !defs with [ i ] when i >= 0 -> Some i | _ -> None
+
+let convert_region (prog : Prog.t) (region : Region.t) =
+  let ops = Array.of_list region.Region.ops in
+  let n = Array.length ops in
+  (* Plan: for each conditional branch, the index of its controlling
+     compare.  Abort without touching anything if some branch is not
+     convertible. *)
+  let plan = ref [] in
+  let convertible = ref true in
+  Array.iteri
+    (fun i (op : Op.t) ->
+      if Op.is_branch op then
+        match op.Op.guard with
+        | Op.True -> convertible := false
+        | Op.If p -> (
+          match un_def_of region.Region.ops i p with
+          | Some c ->
+            (* a controlling compare that is itself predicated (embedded
+               if-conversion) would need its guard conjoined into the FRP
+               chain; this implementation handles superblock inputs only
+               and leaves such hyperblocks untouched *)
+            if ops.(c).Op.guard <> Op.True then convertible := false
+            else plan := (i, c) :: !plan
+          | None -> convertible := false))
+    ops;
+  if (not !convertible) || !plan = [] then false
+  else begin
+    let compare_of_branch = List.rev !plan in
+    (* current FRP guard for each position, built as we walk forward *)
+    let cur = ref Op.True in
+    let new_ops = ref [] in
+    for i = 0 to n - 1 do
+      let op = ops.(i) in
+      let op =
+        match List.find_opt (fun (_, c) -> c = i) compare_of_branch with
+        | Some _ ->
+          (* Controlling compare: guard by the previous block's FRP and
+             add a UC fall-through destination if it lacks one. *)
+          let op = { op with Op.guard = !cur } in
+          (match op.Op.opcode with
+          | Op.Cmpp (cond, Op.Un, None) ->
+            let p_fall = Prog.fresh_pred prog in
+            {
+              op with
+              Op.opcode = Op.Cmpp (cond, Op.Un, Some Op.Uc);
+              Op.dests = op.Op.dests @ [ p_fall ];
+            }
+          | _ -> op)
+        | None ->
+          (* Plain operation (or branch): re-guard unguarded ops by the
+             current block FRP; branches keep their taken predicate and
+             already-predicated ops keep their guard. *)
+          if Op.is_branch op || op.Op.guard <> Op.True then op
+          else { op with Op.guard = !cur }
+      in
+      new_ops := op :: !new_ops;
+      (* After a branch, the fall-through predicate of its compare becomes
+         the FRP of the next block. *)
+      if Op.is_branch op then begin
+        match List.assoc_opt i compare_of_branch with
+        | Some c -> (
+          let cmp =
+            List.nth (List.rev !new_ops) c (* rewritten compare *)
+          in
+          match (cmp.Op.opcode, cmp.Op.dests) with
+          | Op.Cmpp (_, Op.Un, Some Op.Uc), [ _; p_fall ] -> cur := Op.If p_fall
+          | _ -> ())
+        | None -> ()
+      end
+    done;
+    region.Region.ops <- List.rev !new_ops;
+    true
+  end
+
+let convert prog =
+  List.fold_left
+    (fun acc r -> if convert_region prog r then acc + 1 else acc)
+    0 (Prog.regions prog)

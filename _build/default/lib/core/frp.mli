@@ -1,0 +1,24 @@
+open Cpr_ir
+
+(** FRP conversion (Section 4.1, Figures 1 and 6(c)).
+
+    Rewrites a superblock so that each basic block's operations are
+    guarded by the block's fully-resolved predicate instead of being
+    positioned below the branches that guard them: the compare controlling
+    each exit branch gains a UC destination computing the fall-through
+    predicate, is itself guarded by the previous block's FRP, and every
+    following operation is re-guarded by the fall-through predicate.  The
+    exit branches become mutually exclusive and may be freely reordered or
+    overlapped by the scheduler. *)
+
+val convert_region : Prog.t -> Region.t -> bool
+(** Returns false (leaving the region untouched) when some conditional
+    branch's guard is not computed by a unique in-region [cmpp] UN
+    destination preceding it, the branch is unconditional, or the
+    controlling compare is itself predicated (embedded if-conversion —
+    folding such guards into the FRP chain is left as future work; the
+    region is conservatively left alone). *)
+
+val convert : Prog.t -> int
+(** FRP-convert every region of the program (in place); returns the number
+    of converted regions. *)

@@ -1,0 +1,193 @@
+open Cpr_ir
+
+type block_ref = {
+  compare_ids : int list;
+  branch_ids : int list;
+  root_guard : Op.guard;
+  taken_variation : bool;
+}
+
+type plan = {
+  block : block_ref;
+  bypass_id : int;
+  p_on : Reg.t;
+  p_off : Reg.t;
+  comp_label : string;
+  uc_dests : Reg.t list;
+}
+
+let unreachable_label = "UNREACHABLE"
+
+let find_exn (region : Region.t) id =
+  match Region.find_op region id with
+  | Some op -> op
+  | None -> invalid_arg (Printf.sprintf "Restructure: op %d not in region" id)
+
+(* Insert [nu] right after the op with id [anchor]. *)
+let insert_after (region : Region.t) anchor nus =
+  region.Region.ops <-
+    List.concat_map
+      (fun (op : Op.t) -> if op.Op.id = anchor then op :: nus else [ op ])
+      region.Region.ops
+
+let replace_op (region : Region.t) id f =
+  region.Region.ops <-
+    List.map
+      (fun (op : Op.t) -> if op.Op.id = id then f op else op)
+      region.Region.ops
+
+let uc_dests_of (op : Op.t) =
+  match op.Op.opcode with
+  | Op.Cmpp (_, a1, a2) ->
+    List.filter_map
+      (fun (a, d) -> if a = Op.Uc then Some d else None)
+      (List.combine (a1 :: Option.to_list a2) op.Op.dests)
+  | _ -> []
+
+let resolve_guard subst = function
+  | Op.True -> Op.True
+  | Op.If p -> (
+    match Reg.Tbl.find_opt subst p with Some q -> Op.If q | None -> Op.If p)
+
+let fresh_comp_label (prog : Prog.t) =
+  let rec go k =
+    let label = "Cmp" ^ string_of_int k in
+    if Prog.find prog label = None then label else go (k + 1)
+  in
+  go 1
+
+let transform_block (prog : Prog.t) (region : Region.t) ~subst block =
+  let root_guard = resolve_guard subst block.root_guard in
+  let p_on = Prog.fresh_pred prog in
+  let p_off = Prog.fresh_pred prog in
+  let comp_label = fresh_comp_label prog in
+  let uc_dests =
+    List.concat_map (fun id -> uc_dests_of (find_exn region id)) block.compare_ids
+  in
+  let n_branches = List.length block.branch_ids in
+  (* Lookahead compares, one per original compare (Figure 7(b), ops 32/33/
+     37/38): same condition and sources, guarded by the root predicate,
+     accumulating AC into the on-trace FRP and ON into the off-trace FRP.
+     The final compare of a taken-variation block has its sense
+     inverted. *)
+  List.iteri
+    (fun i cmp_id ->
+      let cmp = find_exn region cmp_id in
+      let cond =
+        match cmp.Op.opcode with
+        | Op.Cmpp (c, _, _) ->
+          if block.taken_variation && i = n_branches - 1 then Op.negate_cond c
+          else c
+        | _ -> invalid_arg "Restructure: block compare is not a cmpp"
+      in
+      let lookahead =
+        Op.make ~id:(Prog.fresh_op_id prog) ~guard:root_guard ~orig:cmp_id
+          (Op.Cmpp (cond, Op.Ac, Some Op.On))
+          [ p_on; p_off ] cmp.Op.srcs
+      in
+      insert_after region cmp_id [ lookahead ])
+    block.compare_ids;
+  (* On-trace FRP initialization: at region top via Pred_init when the
+     root is true (handled by the caller through [pred_init_pairs]),
+     otherwise in place with the [cmpp.un eq (0,0) if root] idiom
+     (Figure 7(b), op 36) placed before the block's first lookahead, i.e.
+     right before the first original compare. *)
+  (match root_guard with
+  | Op.True -> ()
+  | Op.If _ ->
+    let first_cmp = List.hd block.compare_ids in
+    let init =
+      Op.make ~id:(Prog.fresh_op_id prog) ~guard:root_guard
+        (Op.Cmpp (Op.Eq, Op.Un, None))
+        [ p_on ]
+        [ Op.Imm 0; Op.Imm 0 ]
+    in
+    region.Region.ops <-
+      List.concat_map
+        (fun (op : Op.t) ->
+          if op.Op.id = first_cmp then [ init; op ] else [ op ])
+        region.Region.ops);
+  let last_branch = List.nth block.branch_ids (n_branches - 1) in
+  let bypass_id =
+    if block.taken_variation then begin
+      (* The final branch becomes the bypass: its taken direction is the
+         on-trace continuation, so it is guarded by the on-trace FRP. *)
+      replace_op region last_branch (fun op -> { op with Op.guard = Op.If p_on });
+      last_branch
+    end
+    else begin
+      (* Insert pbr + bypass branch right after the last original branch. *)
+      let btr = Prog.fresh_btr prog in
+      let pbr =
+        Op.make ~id:(Prog.fresh_op_id prog) Op.Pbr [ btr ]
+          [ Op.Lab comp_label; Op.Imm 0 ]
+      in
+      let bypass =
+        Op.make ~id:(Prog.fresh_op_id prog) ~guard:(Op.If p_off) Op.Branch []
+          [ Op.Reg btr ]
+      in
+      insert_after region last_branch [ pbr; bypass ];
+      bypass.Op.id
+    end
+  in
+  (* Create the (empty) compensation region now so the bypass target
+     resolves; off-trace motion fills it. *)
+  let comp_fallthrough =
+    if block.taken_variation then region.Region.fallthrough
+    else begin
+      if not (Prog.is_exit prog unreachable_label) then
+        prog.Prog.exit_labels <- unreachable_label :: prog.Prog.exit_labels;
+      Some unreachable_label
+    end
+  in
+  let comp = Region.make ?fallthrough:comp_fallthrough comp_label [] in
+  Prog.add_region prog ~after:region.Region.label comp;
+  if block.taken_variation then region.Region.fallthrough <- Some comp_label;
+  (* Re-wire (fall-through variation only): operations past the bypass
+     that use the block's fall-through predicates now use the on-trace
+     FRP; record the substitution for later blocks' root guards. *)
+  if not block.taken_variation then begin
+    List.iter (fun d -> Reg.Tbl.replace subst d p_on) uc_dests;
+    let is_uc r = List.exists (Reg.equal r) uc_dests in
+    let past_bypass = ref false in
+    region.Region.ops <-
+      List.map
+        (fun (op : Op.t) ->
+          if op.Op.id = bypass_id then begin
+            past_bypass := true;
+            op
+          end
+          else if not !past_bypass then op
+          else
+            let guard =
+              match op.Op.guard with
+              | Op.If p when is_uc p -> Op.If p_on
+              | g -> g
+            in
+            let srcs =
+              List.map
+                (function
+                  | Op.Reg r when is_uc r -> Op.Reg p_on
+                  | s -> s)
+                op.Op.srcs
+            in
+            { op with Op.guard; Op.srcs })
+        region.Region.ops
+  end;
+  {
+    block = { block with root_guard };
+    bypass_id;
+    p_on;
+    p_off;
+    comp_label;
+    uc_dests;
+  }
+
+let pred_init_pairs plan =
+  let on_init =
+    match plan.block.root_guard with
+    | Op.True when not plan.block.taken_variation -> [ (plan.p_on, true) ]
+    | Op.True -> [ (plan.p_on, true) ]
+    | Op.If _ -> []
+  in
+  on_init @ [ (plan.p_off, false) ]

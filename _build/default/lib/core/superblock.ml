@@ -1,0 +1,106 @@
+open Cpr_ir
+
+let merge_threshold = 0.6
+
+(* Entries of [b] arriving from [a]'s fall-through = a's entries minus
+   its taken side exits (profiled). *)
+let fallthrough_count (a : Region.t) =
+  List.fold_left
+    (fun acc (br : Op.t) -> acc - Region.taken_count a br.Op.id)
+    a.Region.entry_count (Region.branches a)
+
+(* Clone a region's ops with fresh op ids (tail duplication shares
+   registers — it is plain code duplication, not renaming). *)
+let clone_ops prog ops =
+  List.map
+    (fun (op : Op.t) ->
+      Op.make ~id:(Prog.fresh_op_id prog) ~guard:op.Op.guard ~orig:op.Op.id
+        op.Op.opcode op.Op.dests op.Op.srcs)
+    ops
+
+let try_grow prog threshold (a : Region.t) =
+  let merged = ref 0 in
+  let absorbed = ref [ a.Region.label ] in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    match a.Region.fallthrough with
+    | None -> ()
+    | Some next ->
+      if
+        (not (Prog.is_exit prog next))
+        && (not (List.mem next !absorbed))
+        && a.Region.entry_count > 0
+      then begin
+        match Prog.find prog next with
+        | None -> ()
+        | Some b ->
+          let ft = fallthrough_count a in
+          if
+            b.Region.entry_count > 0
+            && float_of_int ft
+               >= threshold *. float_of_int b.Region.entry_count
+          then begin
+            (* absorb a copy of b; other predecessors (if any) keep the
+               original *)
+            let copy = clone_ops prog b.Region.ops in
+            (* carry b's branch profile onto the copies, scaled by the
+               share of b's entries that arrived from a *)
+            let share =
+              float_of_int ft /. float_of_int b.Region.entry_count
+            in
+            List.iter2
+              (fun (orig : Op.t) (dup : Op.t) ->
+                if Op.is_branch orig then
+                  let t =
+                    int_of_float
+                      (share *. float_of_int (Region.taken_count b orig.Op.id))
+                  in
+                  Hashtbl.replace a.Region.taken dup.Op.id t)
+              b.Region.ops copy;
+            a.Region.ops <- a.Region.ops @ copy;
+            a.Region.fallthrough <- b.Region.fallthrough;
+            absorbed := next :: !absorbed;
+            incr merged;
+            continue_ := true
+          end
+      end
+  done;
+  !merged
+
+let form ?(threshold = merge_threshold) (prog : Prog.t) =
+  (* hottest first, so traces grow from the loops outward *)
+  let regions =
+    List.sort
+      (fun (a : Region.t) (b : Region.t) ->
+        Int.compare b.Region.entry_count a.Region.entry_count)
+      (Prog.regions prog)
+  in
+  List.fold_left (fun acc r -> acc + try_grow prog threshold r) 0 regions
+
+(* Remove regions no longer reachable from the entry (a fully absorbed
+   region whose only predecessor was the trace). *)
+let prune_unreachable (prog : Prog.t) =
+  let reachable = Hashtbl.create 17 in
+  let rec visit label =
+    if (not (Hashtbl.mem reachable label)) && not (Prog.is_exit prog label)
+    then begin
+      Hashtbl.replace reachable label ();
+      match Prog.find prog label with
+      | None -> ()
+      | Some r -> List.iter visit (Region.successors r)
+    end
+  in
+  visit prog.Prog.entry;
+  let dead =
+    List.filter
+      (fun (r : Region.t) -> not (Hashtbl.mem reachable r.Region.label))
+      (Prog.regions prog)
+  in
+  List.iter
+    (fun (r : Region.t) ->
+      Hashtbl.remove prog.Prog.tbl r.Region.label;
+      prog.Prog.order <-
+        List.filter (fun l -> l <> r.Region.label) prog.Prog.order)
+    dead;
+  List.length dead

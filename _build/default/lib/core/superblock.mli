@@ -1,0 +1,32 @@
+open Cpr_ir
+
+(** Profile-guided superblock formation (the role the IMPACT compiler
+    plays upstream of the paper: its input is "optimized superblock code
+    produced by the IMPACT compiler").
+
+    Traces are grown along fall-through edges: a region is merged with its
+    fall-through successor when the profile shows at least
+    [merge_threshold] of the successor's entries arriving over that edge;
+    a successor with other predecessors is {e tail-duplicated} (the merged
+    trace gets a fresh copy, other predecessors keep the original), which
+    is what makes the result a single-entry superblock.  Merging stops at
+    exits, at the region itself (loop back-edges), and at already-absorbed
+    regions.
+
+    Run before the CPR pipeline — on both the baseline and the
+    height-reduced code, as in the paper — to turn branchy region graphs
+    into the long single-entry traces ICBM wants. *)
+
+val merge_threshold : float
+(** 0.6: the fall-through edge must carry at least this share of the
+    successor's entries. *)
+
+val form : ?threshold:float -> Prog.t -> int
+(** Grow superblocks over the whole program using its recorded profile;
+    returns the number of regions absorbed.  Regions with no profile are
+    left alone.  The profile is re-recorded by the caller afterwards
+    (absorbed copies have fresh op ids). *)
+
+val prune_unreachable : Prog.t -> int
+(** Drop regions unreachable from the entry after formation; returns how
+    many were removed. *)

@@ -1,0 +1,26 @@
+open Cpr_ir
+
+(** Superblock loop unrolling.
+
+    The paper's input superblocks come from IMPACT after loop unrolling
+    ("to expose instruction-level parallelism, the loop body is unrolled
+    four times", Section 6).  This pass unrolls a self-looping region
+    [factor] times:
+
+    - the body is replicated; intermediate copies of the loop-back branch
+      are inverted (the controlling compare's condition is negated) and
+      retargeted at the region's fallthrough, so each copy exits the loop
+      exactly where the rolled loop would have;
+    - per-iteration temporaries — registers dead at the loop header and at
+      every exit target — are renamed to fresh registers per copy, which
+      is what exposes the parallelism; loop-carried and exit-live
+      registers keep their names (no compensation copies needed).  *)
+
+val unrollable : Prog.t -> Region.t -> bool
+(** The region's last operation is a conditional branch back to the
+    region itself whose guard is computed by a unique in-region UN
+    compare, and the region has a fallthrough label. *)
+
+val unroll_region : Prog.t -> Region.t -> factor:int -> bool
+(** Rewrites the region in place; false (untouched) when not
+    {!unrollable} or [factor < 2]. *)

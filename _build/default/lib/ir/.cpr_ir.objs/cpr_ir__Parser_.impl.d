@@ -1,0 +1,1 @@
+lib/ir/parser_.ml: Format List Op Option Prog Reg Region String

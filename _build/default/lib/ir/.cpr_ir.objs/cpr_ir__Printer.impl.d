@@ -1,0 +1,1 @@
+lib/ir/printer.ml: List Op Printf Prog Reg Region String

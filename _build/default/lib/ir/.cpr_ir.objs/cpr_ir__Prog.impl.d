@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Format Hashtbl List Op Reg Region

@@ -1,0 +1,1 @@
+lib/ir/prog.mli: Format Hashtbl Reg Region

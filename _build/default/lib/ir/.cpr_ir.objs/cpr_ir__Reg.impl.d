@@ -1,0 +1,1 @@
+lib/ir/reg.ml: Format Hashtbl Int Map Set

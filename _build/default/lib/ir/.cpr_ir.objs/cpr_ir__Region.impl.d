@@ -1,0 +1,1 @@
+lib/ir/region.ml: Format Hashtbl List Op Option Reg

@@ -1,0 +1,1 @@
+lib/ir/region.mli: Format Hashtbl Op

@@ -1,0 +1,1 @@
+lib/ir/stats_ir.ml: Format List Prog Region

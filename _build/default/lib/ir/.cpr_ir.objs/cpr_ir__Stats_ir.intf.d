@@ -1,0 +1,1 @@
+lib/ir/stats_ir.mli: Format Prog

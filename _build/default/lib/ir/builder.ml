@@ -1,0 +1,76 @@
+type ctx = {
+  mutable next_id : int;
+  mutable next_gpr : int;
+  mutable next_pred : int;
+  mutable next_btr : int;
+}
+
+type b = {
+  ctx : ctx;
+  mutable rev_ops : Op.t list;
+}
+
+let create () = { next_id = 1; next_gpr = 1; next_pred = 1; next_btr = 1 }
+
+let gpr ctx =
+  let r = Reg.gpr ctx.next_gpr in
+  ctx.next_gpr <- ctx.next_gpr + 1;
+  r
+
+let pred ctx =
+  let r = Reg.pred ctx.next_pred in
+  ctx.next_pred <- ctx.next_pred + 1;
+  r
+
+let btr ctx =
+  let r = Reg.btr ctx.next_btr in
+  ctx.next_btr <- ctx.next_btr + 1;
+  r
+
+let gprs ctx n = Array.init n (fun _ -> gpr ctx)
+let preds ctx n = Array.init n (fun _ -> pred ctx)
+
+let emit b ?(guard = Op.True) opcode dests srcs =
+  let id = b.ctx.next_id in
+  b.ctx.next_id <- id + 1;
+  let op = Op.make ~id ~guard opcode dests srcs in
+  b.rev_ops <- op :: b.rev_ops;
+  op
+
+let alu b ?guard a d x y = emit b ?guard (Op.Alu a) [ d ] [ x; y ]
+let add b ?guard d x y = alu b ?guard Op.Add d (Op.Reg x) (Op.Reg y)
+let addi b ?guard d x i = alu b ?guard Op.Add d (Op.Reg x) (Op.Imm i)
+let movi b ?guard d i = alu b ?guard Op.Mov d (Op.Imm 0) (Op.Imm i)
+let mov b ?guard d x = alu b ?guard Op.Mov d (Op.Imm 0) (Op.Reg x)
+
+let load b ?guard d ~base ~off =
+  emit b ?guard Op.Load [ d ] [ Op.Reg base; Op.Imm off ]
+
+let store b ?guard ~base ~off v =
+  emit b ?guard Op.Store [] [ Op.Reg base; Op.Imm off; v ]
+
+let cmpp1 b ?guard cond action d x y =
+  emit b ?guard (Op.Cmpp (cond, action, None)) [ d ] [ x; y ]
+
+let cmpp2 b ?guard cond (a1, d1) (a2, d2) x y =
+  emit b ?guard (Op.Cmpp (cond, a1, Some a2)) [ d1; d2 ] [ x; y ]
+
+let pred_init b ?guard assignments =
+  let dests = List.map fst assignments and bits = List.map snd assignments in
+  emit b ?guard (Op.Pred_init bits) dests []
+
+let pbr b ?guard d target = emit b ?guard Op.Pbr [ d ] [ Op.Lab target; Op.Imm 0 ]
+let branch b ?guard t = emit b ?guard Op.Branch [] [ Op.Reg t ]
+
+let branch_to b ?guard target =
+  let t = btr b.ctx in
+  let (_ : Op.t) = pbr b t target in
+  branch b ?guard t
+
+let region ctx ?fallthrough label f =
+  let b = { ctx; rev_ops = [] } in
+  f b;
+  Region.make ?fallthrough label (List.rev b.rev_ops)
+
+let prog _ctx ~entry ?exit_labels ?live_out ?noalias_bases rs =
+  Prog.create ~entry ?exit_labels ?live_out ?noalias_bases rs

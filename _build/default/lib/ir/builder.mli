@@ -1,0 +1,61 @@
+(** Construction DSL for IR programs.
+
+    A {!ctx} mints fresh registers and op ids; a {!b} accumulates the
+    operations of one region.  Typical use:
+
+    {[
+      let ctx = Builder.create () in
+      let a = Builder.gpr ctx and p = Builder.pred ctx in
+      let loop =
+        Builder.region ctx "Loop" ~fallthrough:"Exit" (fun e ->
+            Builder.addi e a a 1;
+            Builder.cmpp1 e Op.Eq Op.Un p (Op.Reg a) (Op.Imm 10);
+            Builder.branch_to e ~guard:(Op.If p) "Loop")
+      in
+      Builder.prog ctx ~entry:"Loop" [ loop ]
+    ]} *)
+
+type ctx
+type b
+
+val create : unit -> ctx
+val gpr : ctx -> Reg.t
+val pred : ctx -> Reg.t
+val btr : ctx -> Reg.t
+val gprs : ctx -> int -> Reg.t array
+val preds : ctx -> int -> Reg.t array
+
+val region :
+  ctx -> ?fallthrough:string -> string -> (b -> unit) -> Region.t
+
+val prog :
+  ctx -> entry:string -> ?exit_labels:string list -> ?live_out:Reg.t list
+  -> ?noalias_bases:Reg.t list -> Region.t list -> Prog.t
+
+(** {2 Emitters}  All take an optional [?guard] (default [True]). *)
+
+val emit : b -> ?guard:Op.guard -> Op.opcode -> Reg.t list -> Op.operand list -> Op.t
+val alu : b -> ?guard:Op.guard -> Op.alu -> Reg.t -> Op.operand -> Op.operand -> Op.t
+val add : b -> ?guard:Op.guard -> Reg.t -> Reg.t -> Reg.t -> Op.t
+val addi : b -> ?guard:Op.guard -> Reg.t -> Reg.t -> int -> Op.t
+val movi : b -> ?guard:Op.guard -> Reg.t -> int -> Op.t
+val mov : b -> ?guard:Op.guard -> Reg.t -> Reg.t -> Op.t
+val load : b -> ?guard:Op.guard -> Reg.t -> base:Reg.t -> off:int -> Op.t
+val store : b -> ?guard:Op.guard -> base:Reg.t -> off:int -> Op.operand -> Op.t
+
+val cmpp1 :
+  b -> ?guard:Op.guard -> Op.cond -> Op.action -> Reg.t -> Op.operand
+  -> Op.operand -> Op.t
+
+val cmpp2 :
+  b -> ?guard:Op.guard -> Op.cond -> Op.action * Reg.t -> Op.action * Reg.t
+  -> Op.operand -> Op.operand -> Op.t
+
+val pred_init : b -> ?guard:Op.guard -> (Reg.t * bool) list -> Op.t
+
+val branch_to : b -> ?guard:Op.guard -> string -> Op.t
+(** Emits a [pbr] to a fresh btr followed by a [branch]; returns the branch
+    operation. *)
+
+val pbr : b -> ?guard:Op.guard -> Reg.t -> string -> Op.t
+val branch : b -> ?guard:Op.guard -> Reg.t -> Op.t

@@ -1,0 +1,187 @@
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+let reg_of_string ~line s =
+  let cls_of = function
+    | 'r' -> Some Reg.Gpr
+    | 'p' -> Some Reg.Pred
+    | 'b' -> Some Reg.Btr
+    | _ -> None
+  in
+  if String.length s < 2 then fail line "bad register %S" s
+  else
+    match
+      (cls_of s.[0], int_of_string_opt (String.sub s 1 (String.length s - 1)))
+    with
+    | Some cls, Some id ->
+      (match cls with
+      | Reg.Gpr -> Reg.gpr id
+      | Reg.Pred -> Reg.pred id
+      | Reg.Btr -> Reg.btr id)
+    | _ -> fail line "bad register %S" s
+
+let action_of_string ~line = function
+  | "un" -> Op.Un
+  | "uc" -> Op.Uc
+  | "on" -> Op.On
+  | "oc" -> Op.Oc
+  | "an" -> Op.An
+  | "ac" -> Op.Ac
+  | s -> fail line "bad cmpp action %S" s
+
+let cond_of_string ~line = function
+  | "eq" -> Op.Eq
+  | "ne" -> Op.Ne
+  | "lt" -> Op.Lt
+  | "le" -> Op.Le
+  | "gt" -> Op.Gt
+  | "ge" -> Op.Ge
+  | s -> fail line "bad condition %S" s
+
+let opcode_of_string ~line s =
+  match s with
+  | "add" -> Op.Alu Op.Add
+  | "sub" -> Op.Alu Op.Sub
+  | "mul" -> Op.Alu Op.Mul
+  | "div" -> Op.Alu Op.Div
+  | "and" -> Op.Alu Op.And_
+  | "or" -> Op.Alu Op.Or_
+  | "xor" -> Op.Alu Op.Xor
+  | "shl" -> Op.Alu Op.Shl
+  | "shr" -> Op.Alu Op.Shr
+  | "mov" -> Op.Alu Op.Mov
+  | "fadd" -> Op.Falu Op.Fadd
+  | "fsub" -> Op.Falu Op.Fsub
+  | "fmul" -> Op.Falu Op.Fmul
+  | "fdiv" -> Op.Falu Op.Fdiv
+  | "load" -> Op.Load
+  | "store" -> Op.Store
+  | "pbr" -> Op.Pbr
+  | "branch" -> Op.Branch
+  | _ -> (
+    match String.split_on_char '.' s with
+    | "cmpp" :: rest -> (
+      match rest with
+      | [ a1; c ] ->
+        Op.Cmpp (cond_of_string ~line c, action_of_string ~line a1, None)
+      | [ a1; a2; c ] ->
+        Op.Cmpp
+          ( cond_of_string ~line c,
+            action_of_string ~line a1,
+            Some (action_of_string ~line a2) )
+      | _ -> fail line "bad cmpp opcode %S" s)
+    | [ "pinit"; bits ] ->
+      Op.Pred_init
+        (List.init (String.length bits) (fun i -> bits.[i] = '1'))
+    | _ -> fail line "unknown opcode %S" s)
+
+let split_trim c s =
+  String.split_on_char c s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let operand_of_string ~line s =
+  match int_of_string_opt s with
+  | Some i -> Op.Imm i
+  | None ->
+    if
+      String.length s >= 2
+      && (match s.[0] with 'r' | 'p' | 'b' -> true | _ -> false)
+      && Option.is_some
+           (int_of_string_opt (String.sub s 1 (String.length s - 1)))
+    then Op.Reg (reg_of_string ~line s)
+    else Op.Lab s
+
+(* "ID. [dests =] opcode(srcs) if guard" *)
+let op_of_string ~line s =
+  let s = String.trim s in
+  let id, rest =
+    match String.index_opt s '.' with
+    | None -> fail line "missing op id in %S" s
+    | Some dot -> (
+      match int_of_string_opt (String.sub s 0 dot) with
+      | Some id ->
+        (id, String.trim (String.sub s (dot + 1) (String.length s - dot - 1)))
+      | None -> fail line "bad op id in %S" s)
+  in
+  let guard, rest =
+    match String.index_opt rest ' ' with
+    | _ -> (
+      (* split on " if " from the right *)
+      let marker = " if " in
+      let rec find_last from acc =
+        if from + String.length marker > String.length rest then acc
+        else if String.sub rest from (String.length marker) = marker then
+          find_last (from + 1) (Some from)
+        else find_last (from + 1) acc
+      in
+      match find_last 0 None with
+      | None -> fail line "missing guard in %S" s
+      | Some i ->
+        let g = String.trim (String.sub rest (i + 4) (String.length rest - i - 4)) in
+        let guard =
+          if g = "T" then Op.True else Op.If (reg_of_string ~line g)
+        in
+        (guard, String.trim (String.sub rest 0 i)))
+  in
+  let dests, rest =
+    match String.index_opt rest '=' with
+    | Some eq
+      when not (String.contains (String.sub rest 0 eq) '(') ->
+      ( List.map (reg_of_string ~line) (split_trim ',' (String.sub rest 0 eq)),
+        String.trim (String.sub rest (eq + 1) (String.length rest - eq - 1)) )
+    | _ -> ([], rest)
+  in
+  match (String.index_opt rest '(', String.rindex_opt rest ')') with
+  | Some lp, Some rp when lp < rp ->
+    let opcode = opcode_of_string ~line (String.trim (String.sub rest 0 lp)) in
+    let srcs =
+      List.map (operand_of_string ~line)
+        (split_trim ',' (String.sub rest (lp + 1) (rp - lp - 1)))
+    in
+    Op.make ~id ~guard opcode dests srcs
+  | _ -> fail line "missing operand list in %S" s
+
+let of_text text =
+  let lines = String.split_on_char '\n' text in
+  let entry = ref None in
+  let exits = ref [ "Exit" ] in
+  let live_out = ref [] in
+  let noalias = ref [] in
+  let regions = ref [] in
+  let current = ref None in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let l = String.trim raw in
+      if l = "" then ()
+      else
+        match (split_trim ' ' l, !current) with
+        | "program" :: "entry" :: e :: [], None -> entry := Some e
+        | "exits" :: ls, None -> exits := ls
+        | "liveout" :: rs, None ->
+          live_out := List.map (reg_of_string ~line) rs
+        | "noalias" :: rs, None ->
+          noalias := List.map (reg_of_string ~line) rs
+        | "region" :: label :: rest, None ->
+          let fallthrough =
+            match rest with
+            | [] -> None
+            | [ "fallthrough"; l ] -> Some l
+            | _ -> fail line "bad region header %S" l
+          in
+          current := Some (label, fallthrough, ref [])
+        | [ "endregion" ], Some (label, fallthrough, ops) ->
+          regions := Region.make ?fallthrough label (List.rev !ops) :: !regions;
+          current := None
+        | _, Some (_, _, ops) -> ops := op_of_string ~line l :: !ops
+        | _, None -> fail line "unexpected line %S" l)
+    lines;
+  (match !current with
+  | Some (label, _, _) -> fail 0 "unterminated region %s" label
+  | None -> ());
+  match !entry with
+  | None -> fail 0 "missing program entry"
+  | Some entry ->
+    Prog.create ~entry ~exit_labels:!exits ~live_out:!live_out
+      ~noalias_bases:!noalias (List.rev !regions)

@@ -1,0 +1,10 @@
+(** Parser for the textual program form produced by {!Printer}.
+
+    Hand-written recursive descent; errors carry a line number. *)
+
+exception Parse_error of int * string
+(** line number (1-based), message *)
+
+val op_of_string : line:int -> string -> Op.t
+val of_text : string -> Prog.t
+(** Raises {!Parse_error}; the result is re-validated by the caller. *)

@@ -1,0 +1,89 @@
+let operand_to_string = function
+  | Op.Reg r -> Reg.to_string r
+  | Op.Imm i -> string_of_int i
+  | Op.Lab l -> l
+
+let action_name = function
+  | Op.Un -> "un"
+  | Op.Uc -> "uc"
+  | Op.On -> "on"
+  | Op.Oc -> "oc"
+  | Op.An -> "an"
+  | Op.Ac -> "ac"
+
+let cond_name = function
+  | Op.Eq -> "eq"
+  | Op.Ne -> "ne"
+  | Op.Lt -> "lt"
+  | Op.Le -> "le"
+  | Op.Gt -> "gt"
+  | Op.Ge -> "ge"
+
+let opcode_name (opcode : Op.opcode) =
+  match opcode with
+  | Op.Alu Op.Add -> "add"
+  | Op.Alu Op.Sub -> "sub"
+  | Op.Alu Op.Mul -> "mul"
+  | Op.Alu Op.Div -> "div"
+  | Op.Alu Op.And_ -> "and"
+  | Op.Alu Op.Or_ -> "or"
+  | Op.Alu Op.Xor -> "xor"
+  | Op.Alu Op.Shl -> "shl"
+  | Op.Alu Op.Shr -> "shr"
+  | Op.Alu Op.Mov -> "mov"
+  | Op.Falu Op.Fadd -> "fadd"
+  | Op.Falu Op.Fsub -> "fsub"
+  | Op.Falu Op.Fmul -> "fmul"
+  | Op.Falu Op.Fdiv -> "fdiv"
+  | Op.Load -> "load"
+  | Op.Store -> "store"
+  | Op.Pbr -> "pbr"
+  | Op.Branch -> "branch"
+  | Op.Cmpp (c, a1, a2) ->
+    "cmpp." ^ action_name a1
+    ^ (match a2 with Some a2 -> "." ^ action_name a2 | None -> "")
+    ^ "." ^ cond_name c
+  | Op.Pred_init bits ->
+    "pinit."
+    ^ String.concat "" (List.map (fun b -> if b then "1" else "0") bits)
+
+let op_to_string (op : Op.t) =
+  let dests =
+    match op.Op.dests with
+    | [] -> ""
+    | ds -> String.concat ", " (List.map Reg.to_string ds) ^ " = "
+  in
+  let srcs = String.concat ", " (List.map operand_to_string op.Op.srcs) in
+  let guard =
+    match op.Op.guard with
+    | Op.True -> "T"
+    | Op.If p -> Reg.to_string p
+  in
+  Printf.sprintf "%d. %s%s(%s) if %s" op.Op.id dests (opcode_name op.Op.opcode)
+    srcs guard
+
+let region_to_text (r : Region.t) =
+  let header =
+    match r.Region.fallthrough with
+    | Some l -> Printf.sprintf "region %s fallthrough %s" r.Region.label l
+    | None -> Printf.sprintf "region %s" r.Region.label
+  in
+  let body = List.map (fun op -> "  " ^ op_to_string op) r.Region.ops in
+  String.concat "\n" ((header :: body) @ [ "endregion" ])
+
+let regs_line keyword regs =
+  match regs with
+  | [] -> []
+  | rs -> [ keyword ^ " " ^ String.concat " " (List.map Reg.to_string rs) ]
+
+let to_text (p : Prog.t) =
+  let header = Printf.sprintf "program entry %s" p.Prog.entry in
+  let exits =
+    match p.Prog.exit_labels with
+    | [] -> []
+    | ls -> [ "exits " ^ String.concat " " ls ]
+  in
+  let liveout = regs_line "liveout" p.Prog.live_out in
+  let noalias = regs_line "noalias" p.Prog.noalias_bases in
+  let regions = List.map region_to_text (Prog.regions p) in
+  String.concat "\n" ((header :: exits) @ liveout @ noalias @ regions) ^ "\n"

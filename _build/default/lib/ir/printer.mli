@@ -1,0 +1,19 @@
+(** Canonical textual form of programs, round-trippable through
+    {!Parser_}.
+
+    {v
+    program entry Start
+    exits Exit
+    liveout r1 r2
+    noalias r9 r10
+    region Start fallthrough Loop
+      1. r1 = mov(0, 1000) if T
+      2. p1, p2 = cmpp.un.uc.eq(r1, 0) if T
+      3. b1 = pbr(Exit, 0) if T
+      4. branch(b1) if p1
+    endregion
+    v} *)
+
+val op_to_string : Op.t -> string
+val region_to_text : Region.t -> string
+val to_text : Prog.t -> string

@@ -1,0 +1,122 @@
+type t = {
+  entry : string;
+  tbl : (string, Region.t) Hashtbl.t;
+  mutable order : string list;
+  mutable exit_labels : string list;
+  mutable live_out : Reg.t list;
+  mutable noalias_bases : Reg.t list;
+  mutable next_op_id : int;
+  mutable next_gpr : int;
+  mutable next_pred : int;
+  mutable next_btr : int;
+}
+
+let find t label = Hashtbl.find_opt t.tbl label
+
+let find_exn t label =
+  match find t label with
+  | Some r -> r
+  | None -> invalid_arg ("Prog.find_exn: no region " ^ label)
+
+let regions t = List.map (find_exn t) t.order
+
+let iter_ops t f =
+  List.iter (fun r -> List.iter f r.Region.ops) (regions t)
+
+let sync_generators t =
+  iter_ops t (fun (op : Op.t) ->
+      t.next_op_id <- max t.next_op_id (op.Op.id + 1);
+      let see (r : Reg.t) =
+        match r.Reg.cls with
+        | Reg.Gpr -> t.next_gpr <- max t.next_gpr (r.Reg.id + 1)
+        | Reg.Pred -> t.next_pred <- max t.next_pred (r.Reg.id + 1)
+        | Reg.Btr -> t.next_btr <- max t.next_btr (r.Reg.id + 1)
+      in
+      List.iter see (Op.defs op);
+      List.iter see (Op.uses op))
+
+let create ~entry ?(exit_labels = [ "Exit" ]) ?(live_out = [])
+    ?(noalias_bases = []) rs =
+  let tbl = Hashtbl.create 17 in
+  List.iter (fun (r : Region.t) -> Hashtbl.replace tbl r.Region.label r) rs;
+  let t =
+    {
+      entry;
+      tbl;
+      order = List.map (fun (r : Region.t) -> r.Region.label) rs;
+      exit_labels;
+      live_out;
+      noalias_bases;
+      next_op_id = 0;
+      next_gpr = 0;
+      next_pred = 0;
+      next_btr = 0;
+    }
+  in
+  sync_generators t;
+  t
+
+let add_region t ?after (r : Region.t) =
+  if Hashtbl.mem t.tbl r.Region.label then
+    invalid_arg ("Prog.add_region: duplicate label " ^ r.Region.label);
+  Hashtbl.replace t.tbl r.Region.label r;
+  t.order <-
+    (match after with
+    | None -> t.order @ [ r.Region.label ]
+    | Some a ->
+      List.concat_map
+        (fun l -> if l = a then [ l; r.Region.label ] else [ l ])
+        t.order)
+
+let replace_region t (r : Region.t) =
+  if not (Hashtbl.mem t.tbl r.Region.label) then
+    invalid_arg ("Prog.replace_region: unknown label " ^ r.Region.label);
+  Hashtbl.replace t.tbl r.Region.label r
+
+let is_exit t label = List.mem label t.exit_labels
+
+let fresh_op_id t =
+  let id = t.next_op_id in
+  t.next_op_id <- id + 1;
+  id
+
+let fresh_gpr t =
+  let id = t.next_gpr in
+  t.next_gpr <- id + 1;
+  Reg.gpr id
+
+let fresh_pred t =
+  let id = t.next_pred in
+  t.next_pred <- id + 1;
+  Reg.pred id
+
+let fresh_btr t =
+  let id = t.next_btr in
+  t.next_btr <- id + 1;
+  Reg.btr id
+
+let copy t =
+  let tbl = Hashtbl.create 17 in
+  Hashtbl.iter (fun k r -> Hashtbl.replace tbl k (Region.copy r)) t.tbl;
+  {
+    entry = t.entry;
+    tbl;
+    order = t.order;
+    exit_labels = t.exit_labels;
+    live_out = t.live_out;
+    noalias_bases = t.noalias_bases;
+    next_op_id = t.next_op_id;
+    next_gpr = t.next_gpr;
+    next_pred = t.next_pred;
+    next_btr = t.next_btr;
+  }
+
+let static_op_count t =
+  List.fold_left (fun acc r -> acc + Region.static_op_count r) 0 (regions t)
+
+let clear_profile t = List.iter Region.clear_profile (regions t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>program (entry %s)@,%a@]" t.entry
+    (Format.pp_print_list Region.pp)
+    (regions t)

@@ -1,0 +1,59 @@
+(** Whole programs: a graph of {!Region.t} keyed by label.
+
+    A program also owns the id/register generators used by transformations
+    to mint fresh operations and predicates, and declares which labels are
+    terminal exits and which registers are live at program exit (so global
+    liveness has a boundary condition). *)
+
+type t = {
+  entry : string;
+  tbl : (string, Region.t) Hashtbl.t;
+  mutable order : string list;  (** layout order, for printing and stats *)
+  mutable exit_labels : string list;
+      (** labels that terminate execution when branched to *)
+  mutable live_out : Reg.t list;  (** registers live at every program exit *)
+  mutable noalias_bases : Reg.t list;
+      (** array-base registers declared pairwise non-overlapping: addresses
+          derived from distinct bases in this list never alias (the role
+          the source-level alias analysis played for the paper's
+          compiler) *)
+  mutable next_op_id : int;
+  mutable next_gpr : int;
+  mutable next_pred : int;
+  mutable next_btr : int;
+}
+
+val create : entry:string -> ?exit_labels:string list -> ?live_out:Reg.t list
+  -> ?noalias_bases:Reg.t list -> Region.t list -> t
+
+val find : t -> string -> Region.t option
+val find_exn : t -> string -> Region.t
+val regions : t -> Region.t list
+(** In layout order. *)
+
+val add_region : t -> ?after:string -> Region.t -> unit
+(** Insert a region (e.g. a compensation block); [after] positions it in
+    layout order, default at the end. *)
+
+val replace_region : t -> Region.t -> unit
+(** Replace the region with the same label. *)
+
+val is_exit : t -> string -> bool
+
+val fresh_op_id : t -> int
+val fresh_gpr : t -> Reg.t
+val fresh_pred : t -> Reg.t
+val fresh_btr : t -> Reg.t
+
+val sync_generators : t -> unit
+(** Bump the generators above every id/register currently appearing in the
+    program; called by {!create} and after parsing. *)
+
+val copy : t -> t
+(** Deep copy: transformations run on the copy, keeping the original for
+    differential testing. *)
+
+val static_op_count : t -> int
+val clear_profile : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type t = {
+  label : string;
+  mutable ops : Op.t list;
+  mutable fallthrough : string option;
+  mutable entry_count : int;
+  taken : (int, int) Hashtbl.t;
+}
+
+let make ?fallthrough label ops =
+  { label; ops; fallthrough; entry_count = 0; taken = Hashtbl.create 7 }
+
+let branches t = List.filter Op.is_branch t.ops
+
+(* Resolve the label a branch transfers to by scanning for the last pbr
+   that defines the branch's btr source before the branch itself. *)
+let branch_target t (br : Op.t) =
+  let btr =
+    List.find_map
+      (function Op.Reg r when r.Reg.cls = Reg.Btr -> Some r | _ -> None)
+      br.Op.srcs
+  in
+  match btr with
+  | None -> None
+  | Some btr ->
+    let rec scan best = function
+      | [] -> best
+      | (op : Op.t) :: rest ->
+        if op.Op.id = br.Op.id then best
+        else if Op.is_pbr op && List.exists (Reg.equal btr) op.Op.dests then
+          let lab =
+            List.find_map
+              (function Op.Lab l -> Some l | Op.Reg _ | Op.Imm _ -> None)
+              op.Op.srcs
+          in
+          scan lab rest
+        else scan best rest
+    in
+    scan None t.ops
+
+let taken_count t id = Option.value ~default:0 (Hashtbl.find_opt t.taken id)
+let record_entry t = t.entry_count <- t.entry_count + 1
+
+let record_taken t id =
+  Hashtbl.replace t.taken id (taken_count t id + 1)
+
+let clear_profile t =
+  t.entry_count <- 0;
+  Hashtbl.reset t.taken
+
+let successors t =
+  let targets = List.filter_map (branch_target t) (branches t) in
+  let all = targets @ Option.to_list t.fallthrough in
+  List.fold_left (fun acc l -> if List.mem l acc then acc else acc @ [ l ]) [] all
+
+let find_op t id = List.find_opt (fun (op : Op.t) -> op.Op.id = id) t.ops
+
+let op_index t id =
+  let rec go i = function
+    | [] -> raise Not_found
+    | (op : Op.t) :: rest -> if op.Op.id = id then i else go (i + 1) rest
+  in
+  go 0 t.ops
+
+let static_op_count t = List.length t.ops
+
+let copy t =
+  {
+    label = t.label;
+    ops = t.ops;
+    fallthrough = t.fallthrough;
+    entry_count = t.entry_count;
+    taken = Hashtbl.copy t.taken;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s:  (entry %d, fallthrough %s)@,%a@]" t.label
+    t.entry_count
+    (Option.value ~default:"<exit>" t.fallthrough)
+    (Format.pp_print_list Op.pp)
+    t.ops

@@ -1,0 +1,55 @@
+(** Linear code regions.
+
+    A region is a single-entry linear sequence of operations with inline
+    (side-)exit branches — the program form on which control CPR operates.
+    Conventional superblocks, FRP-converted superblocks, hyperblocks and the
+    compensation blocks created by ICBM are all regions.  Control falls
+    through to [fallthrough] when no branch takes.
+
+    Regions carry the branch-profile data used by the exit-weight and
+    predict-taken heuristics: an entry count and a per-branch taken count. *)
+
+type t = {
+  label : string;
+  mutable ops : Op.t list;
+  mutable fallthrough : string option;
+      (** successor label when all branches fall through; [None] means the
+          program terminates *)
+  mutable entry_count : int;
+  taken : (int, int) Hashtbl.t;  (** branch op id -> times taken *)
+}
+
+val make : ?fallthrough:string -> string -> Op.t list -> t
+
+val branches : t -> Op.t list
+(** Branch operations in program order. *)
+
+val branch_target : t -> Op.t -> string option
+(** Static target of a branch: the label prepared by the unique [pbr]
+    writing the branch's btr source that last precedes it.  [None] when the
+    branch has no btr source or no preceding [pbr] defines it. *)
+
+val taken_count : t -> int -> int
+(** Profiled taken count of the branch with the given op id (0 if never
+    recorded). *)
+
+val record_entry : t -> unit
+val record_taken : t -> int -> unit
+
+val clear_profile : t -> unit
+
+val successors : t -> string list
+(** All static successor labels: branch targets then fallthrough,
+    deduplicated. *)
+
+val find_op : t -> int -> Op.t option
+
+val op_index : t -> int -> int
+(** Position of the op with the given id; raises [Not_found]. *)
+
+val static_op_count : t -> int
+
+val copy : t -> t
+(** Deep copy (fresh op list cells, fresh profile table) sharing op ids. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type t = {
+  static_total : int;
+  static_branches : int;
+  dynamic_total : int;
+  dynamic_branches : int;
+}
+
+let of_prog p =
+  List.fold_left
+    (fun acc (r : Region.t) ->
+      let ops = List.length r.Region.ops in
+      let brs = List.length (Region.branches r) in
+      {
+        static_total = acc.static_total + ops;
+        static_branches = acc.static_branches + brs;
+        dynamic_total = acc.dynamic_total + (ops * r.Region.entry_count);
+        dynamic_branches = acc.dynamic_branches + (brs * r.Region.entry_count);
+      })
+    { static_total = 0; static_branches = 0; dynamic_total = 0; dynamic_branches = 0 }
+    (Prog.regions p)
+
+let fdiv a b = if b = 0 then 1.0 else float_of_int a /. float_of_int b
+
+let ratio transformed baseline =
+  ( fdiv transformed.static_total baseline.static_total,
+    fdiv transformed.static_branches baseline.static_branches,
+    fdiv transformed.dynamic_total baseline.dynamic_total,
+    fdiv transformed.dynamic_branches baseline.dynamic_branches )
+
+let pp ppf t =
+  Format.fprintf ppf "static %d ops (%d branches), dynamic %d ops (%d branches)"
+    t.static_total t.static_branches t.dynamic_total t.dynamic_branches

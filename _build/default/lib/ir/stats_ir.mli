@@ -1,0 +1,24 @@
+(** Static and dynamic operation counts (Table 3 of the paper).
+
+    Static counts are over the program text; dynamic counts weight each
+    operation by the profiled entry count of its region.  Note the paper's
+    dynamic counts measure *executed* operations — here every operation of
+    an entered region counts as executed (a nullified predicated operation
+    still occupies an issue slot on an EPIC machine), which matches the
+    paper's schedule-based accounting. *)
+
+type t = {
+  static_total : int;
+  static_branches : int;
+  dynamic_total : int;
+  dynamic_branches : int;
+}
+
+val of_prog : Prog.t -> t
+(** Uses the profile stored in the program's regions. *)
+
+val ratio : t -> t -> float * float * float * float
+(** [(s_tot, s_br, d_tot, d_br)] ratios of [transformed] to [baseline] —
+    the four columns of Table 3. *)
+
+val pp : Format.formatter -> t -> unit

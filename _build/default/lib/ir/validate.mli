@@ -1,0 +1,19 @@
+(** Structural well-formedness checks for programs.
+
+    Run after construction and after every transformation phase in tests:
+    a transformation bug usually shows up here (dangling labels, wrong
+    register classes, duplicated op ids) before it shows up as a wrong
+    answer. *)
+
+type error = {
+  where : string;  (** region label or "<program>" *)
+  what : string;
+}
+
+val check : Prog.t -> error list
+(** Empty list = well-formed. *)
+
+val check_exn : Prog.t -> unit
+(** Raises [Invalid_argument] with a report when {!check} finds errors. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/machine/descr.ml: Cpr_ir Op

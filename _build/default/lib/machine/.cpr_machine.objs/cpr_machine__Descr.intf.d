@@ -1,0 +1,1 @@
+lib/machine/descr.mli: Cpr_ir Op

@@ -1,0 +1,1 @@
+lib/machine/resource.ml: Descr Hashtbl Option

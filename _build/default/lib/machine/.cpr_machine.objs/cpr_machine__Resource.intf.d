@@ -1,0 +1,1 @@
+lib/machine/resource.mli: Cpr_ir Descr Op

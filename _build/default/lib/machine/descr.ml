@@ -1,0 +1,60 @@
+open Cpr_ir
+
+type fu =
+  | I
+  | F
+  | M
+  | B
+
+type issue =
+  | Regular of {
+      i : int;
+      f : int;
+      m : int;
+      b : int;
+    }
+  | Sequential
+
+type t = {
+  name : string;
+  issue : issue;
+  latency : Op.opcode -> int;
+}
+
+let fu_of_op (op : Op.t) =
+  match op.Op.opcode with
+  | Op.Alu _ | Op.Cmpp _ | Op.Pred_init _ -> I
+  | Op.Falu _ -> F
+  | Op.Load | Op.Store -> M
+  | Op.Pbr | Op.Branch -> B
+
+let paper_latency = function
+  | Op.Alu (Op.Mul) -> 3
+  | Op.Alu (Op.Div) -> 8
+  | Op.Alu _ -> 1
+  | Op.Falu (Op.Fmul) -> 3
+  | Op.Falu (Op.Fdiv) -> 8
+  | Op.Falu _ -> 3
+  | Op.Load -> 2
+  | Op.Store -> 1
+  | Op.Cmpp _ -> 1
+  | Op.Pbr -> 1
+  | Op.Branch -> 1
+  | Op.Pred_init _ -> 1
+
+let latency_of t (op : Op.t) = t.latency op.Op.opcode
+
+let regular name i f m b =
+  { name; issue = Regular { i; f; m; b }; latency = paper_latency }
+
+let sequential = { name = "Seq"; issue = Sequential; latency = paper_latency }
+let narrow = regular "Nar" 2 1 1 1
+let medium = regular "Med" 4 2 2 1
+let wide = regular "Wid" 8 4 4 2
+let infinite = regular "Inf" 75 25 25 25
+let all = [ sequential; narrow; medium; wide; infinite ]
+
+let slots t fu =
+  match t.issue with
+  | Sequential -> 1
+  | Regular r -> ( match fu with I -> r.i | F -> r.f | M -> r.m | B -> r.b)

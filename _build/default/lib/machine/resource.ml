@@ -1,0 +1,24 @@
+type t = {
+  machine : Descr.t;
+  per_class : (int * Descr.fu, int) Hashtbl.t;  (* (cycle, fu) -> used *)
+  per_cycle : (int, int) Hashtbl.t;  (* cycle -> total used *)
+}
+
+let create machine =
+  { machine; per_class = Hashtbl.create 97; per_cycle = Hashtbl.create 97 }
+
+let class_used t cycle fu =
+  Option.value ~default:0 (Hashtbl.find_opt t.per_class (cycle, fu))
+
+let used t ~cycle = Option.value ~default:0 (Hashtbl.find_opt t.per_cycle cycle)
+
+let available t ~cycle op =
+  let fu = Descr.fu_of_op op in
+  match t.machine.Descr.issue with
+  | Descr.Sequential -> used t ~cycle = 0
+  | Descr.Regular _ -> class_used t cycle fu < Descr.slots t.machine fu
+
+let reserve t ~cycle op =
+  let fu = Descr.fu_of_op op in
+  Hashtbl.replace t.per_class (cycle, fu) (class_used t cycle fu + 1);
+  Hashtbl.replace t.per_cycle cycle (used t ~cycle + 1)

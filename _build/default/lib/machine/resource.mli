@@ -1,0 +1,17 @@
+open Cpr_ir
+
+(** Per-cycle resource reservation for list scheduling. *)
+
+type t
+
+val create : Descr.t -> t
+
+val available : t -> cycle:int -> Op.t -> bool
+(** Is there a free issue slot for this operation's unit class (and, on the
+    sequential machine, a free global slot) in [cycle]? *)
+
+val reserve : t -> cycle:int -> Op.t -> unit
+(** Consume a slot; call only after {!available} returned true. *)
+
+val used : t -> cycle:int -> int
+(** Total operations issued in [cycle] so far. *)

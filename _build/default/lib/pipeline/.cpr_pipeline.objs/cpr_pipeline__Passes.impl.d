@@ -1,0 +1,1 @@
+lib/pipeline/passes.ml: Cpr_core Cpr_ir Cpr_sim List Prog Validate

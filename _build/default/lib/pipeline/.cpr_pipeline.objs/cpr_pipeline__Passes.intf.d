@@ -1,0 +1,1 @@
+lib/pipeline/passes.mli: Cpr_core Cpr_ir Cpr_sim Prog

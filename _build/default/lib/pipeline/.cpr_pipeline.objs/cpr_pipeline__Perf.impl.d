@@ -1,0 +1,1 @@
+lib/pipeline/perf.ml: Cpr_ir Cpr_machine Cpr_sched List Op Prog Region

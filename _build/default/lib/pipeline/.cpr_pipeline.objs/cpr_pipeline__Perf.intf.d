@@ -1,0 +1,1 @@
+lib/pipeline/perf.mli: Cpr_ir Cpr_machine Prog

@@ -1,0 +1,1 @@
+lib/pipeline/report.ml: Cpr_core Cpr_ir Cpr_machine Cpr_sim Format List Passes Perf Result Stats_ir

@@ -1,0 +1,1 @@
+lib/pipeline/report.mli: Cpr_core Cpr_ir Cpr_sim Format Prog Result

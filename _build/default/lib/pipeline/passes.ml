@@ -1,0 +1,45 @@
+open Cpr_ir
+
+type compiled = {
+  prog : Prog.t;
+  icbm : Cpr_core.Icbm.region_stats option;
+}
+
+let profile prog inputs =
+  Prog.clear_profile prog;
+  List.iter
+    (fun input ->
+      let st = Cpr_sim.State.create () in
+      Cpr_sim.State.set_memory st input.Cpr_sim.Equiv.memory;
+      List.iter
+        (fun (r, v) -> Cpr_sim.State.write_gpr st r v)
+        input.Cpr_sim.Equiv.gprs;
+      List.iter
+        (fun (r, v) -> Cpr_sim.State.write_pred st r v)
+        input.Cpr_sim.Equiv.preds;
+      let (_ : Cpr_sim.Interp.outcome) =
+        Cpr_sim.Interp.run ~state:st ~profile:true prog
+      in
+      ())
+    inputs
+
+(* Both compiled codes start from the same superblock formation — the
+   paper's baseline is "optimized superblock code produced by the IMPACT
+   compiler", not the raw region graph. *)
+let prepare prog inputs =
+  let p = Prog.copy prog in
+  profile p inputs;
+  let (_ : int) = Cpr_core.Superblock.form p in
+  let (_ : int) = Cpr_core.Superblock.prune_unreachable p in
+  Validate.check_exn p;
+  profile p inputs;
+  p
+
+let baseline prog inputs = { prog = prepare prog inputs; icbm = None }
+
+let height_reduce ?heur prog inputs =
+  let p = prepare prog inputs in
+  let stats = Cpr_core.Icbm.run ?heur p in
+  Validate.check_exn p;
+  profile p inputs;
+  { prog = p; icbm = Some stats }

@@ -1,0 +1,32 @@
+open Cpr_ir
+
+(** Pass composition: the two compiled codes the paper compares.
+
+    The {e baseline} is the input superblock program with its training
+    profile.  The {e height-reduced} code is the baseline after FRP
+    conversion and the ICBM schema (predicate speculation, match,
+    restructure, off-trace motion, DCE), re-profiled on the same training
+    inputs so that the estimator and Table 3 see the transformed program's
+    own execution frequencies. *)
+
+type compiled = {
+  prog : Prog.t;
+  icbm : Cpr_core.Icbm.region_stats option;  (** None for the baseline *)
+}
+
+val profile : Prog.t -> Cpr_sim.Equiv.input list -> unit
+(** Clear and re-record region profiles by interpreting each input. *)
+
+val prepare : Prog.t -> Cpr_sim.Equiv.input list -> Prog.t
+(** Profile a copy, form superblocks along the hot fall-through edges
+    (tail-duplicating join points), prune unreachable regions, and
+    re-profile — the IMPACT role; both compiled codes start here. *)
+
+val baseline : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+(** {!prepare} only; the input program is untouched. *)
+
+val height_reduce :
+  ?heur:Cpr_core.Heur.t -> Prog.t -> Cpr_sim.Equiv.input list -> compiled
+(** Full pipeline on a fresh copy: profile, FRP-convert, ICBM, validate,
+    re-profile.  Raises [Invalid_argument] if the transformed program
+    fails structural validation. *)

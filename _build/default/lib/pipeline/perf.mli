@@ -1,0 +1,18 @@
+open Cpr_ir
+
+(** Compile-time performance estimation (Section 7).
+
+    "Benchmark execution time is calculated as the sum across all blocks
+    in the program of each block's schedule length weighted by its dynamic
+    execution frequency."  Dynamic effects (caches, predictors) are
+    ignored, as in the paper. *)
+
+val estimate : Cpr_machine.Descr.t -> Prog.t -> int
+(** Paper's estimator: Σ region schedule-length × profiled entry count. *)
+
+val estimate_exit_aware : Cpr_machine.Descr.t -> Prog.t -> int
+(** Ablation refinement: entries leaving through a side exit are charged
+    only up to the exit branch's completion, instead of the full region
+    schedule length. *)
+
+val speedup : baseline:int -> transformed:int -> float

@@ -1,0 +1,96 @@
+open Cpr_ir
+module Descr = Cpr_machine.Descr
+
+type result = {
+  name : string;
+  speedups : (string * float) list;
+  s_tot : float;
+  s_br : float;
+  d_tot : float;
+  d_br : float;
+  baseline_cycles : (string * int) list;
+  reduced_cycles : (string * int) list;
+  icbm : Cpr_core.Icbm.region_stats;
+  equivalent : (unit, string) Result.t;
+}
+
+let run ?heur ~name prog inputs =
+  let base = Passes.baseline prog inputs in
+  let reduced = Passes.height_reduce ?heur prog inputs in
+  let equivalent =
+    Cpr_sim.Equiv.check_many base.Passes.prog reduced.Passes.prog inputs
+  in
+  let baseline_cycles =
+    List.map
+      (fun (m : Descr.t) -> (m.Descr.name, Perf.estimate m base.Passes.prog))
+      Descr.all
+  in
+  let reduced_cycles =
+    List.map
+      (fun (m : Descr.t) -> (m.Descr.name, Perf.estimate m reduced.Passes.prog))
+      Descr.all
+  in
+  let speedups =
+    List.map2
+      (fun (mname, b) (_, t) -> (mname, Perf.speedup ~baseline:b ~transformed:t))
+      baseline_cycles reduced_cycles
+  in
+  let sb = Stats_ir.of_prog base.Passes.prog in
+  let sr = Stats_ir.of_prog reduced.Passes.prog in
+  let s_tot, s_br, d_tot, d_br = Stats_ir.ratio sr sb in
+  {
+    name;
+    speedups;
+    s_tot;
+    s_br;
+    d_tot;
+    d_br;
+    baseline_cycles;
+    reduced_cycles;
+    icbm =
+      (match reduced.Passes.icbm with
+      | Some s -> s
+      | None -> Cpr_core.Icbm.zero_stats);
+    equivalent;
+  }
+
+let gmean = function
+  | [] -> 1.0
+  | xs ->
+    exp (List.fold_left (fun acc x -> acc +. log (max x 1e-9)) 0.0 xs
+         /. float_of_int (List.length xs))
+
+let machine_names = List.map (fun (m : Descr.t) -> m.Descr.name) Descr.all
+
+let print_table2 ppf results =
+  Format.fprintf ppf "%-14s" "Benchmark";
+  List.iter (fun m -> Format.fprintf ppf "%8s" m) machine_names;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-14s" r.name;
+      List.iter (fun (_, s) -> Format.fprintf ppf "%8.2f" s) r.speedups;
+      Format.fprintf ppf "@.")
+    results;
+  Format.fprintf ppf "%-14s" "Gmean-all";
+  List.iter
+    (fun m ->
+      let col = List.map (fun r -> List.assoc m r.speedups) results in
+      Format.fprintf ppf "%8.2f" (gmean col))
+    machine_names;
+  Format.fprintf ppf "@."
+
+let print_table3 ppf results =
+  Format.fprintf ppf "%-14s%8s%8s%8s%8s@." "Benchmark" "S tot" "S br" "D tot"
+    "D br";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-14s%8.2f%8.2f%8.2f%8.2f@." r.name r.s_tot r.s_br
+        r.d_tot r.d_br)
+    results;
+  let col f = gmean (List.map f results) in
+  Format.fprintf ppf "%-14s%8.2f%8.2f%8.2f%8.2f@." "Gmean-all"
+    (col (fun r -> r.s_tot))
+    (col (fun r -> r.s_br))
+    (col (fun r -> r.d_tot))
+    (col (fun r -> r.d_br))

@@ -1,0 +1,34 @@
+open Cpr_ir
+
+(** Experiment harness: reproduces the paper's Table 2 (speedups across
+    the five processors) and Table 3 (static/dynamic operation-count
+    ratios on the medium processor) for one benchmark program, and checks
+    baseline/height-reduced semantic equivalence on every training input
+    along the way. *)
+
+type result = {
+  name : string;
+  speedups : (string * float) list;
+      (** machine name -> baseline cycles / height-reduced cycles, in
+          paper column order Seq Nar Med Wid Inf *)
+  s_tot : float;
+  s_br : float;
+  d_tot : float;
+  d_br : float;  (** Table 3 ratios (height-reduced / baseline) *)
+  baseline_cycles : (string * int) list;
+  reduced_cycles : (string * int) list;
+  icbm : Cpr_core.Icbm.region_stats;
+  equivalent : (unit, string) Result.t;
+}
+
+val run :
+  ?heur:Cpr_core.Heur.t -> name:string -> Prog.t -> Cpr_sim.Equiv.input list
+  -> result
+
+val gmean : float list -> float
+
+val print_table2 : Format.formatter -> result list -> unit
+(** Rows per benchmark, columns Seq/Nar/Med/Wid/Inf, with geometric
+    means — the layout of Table 2. *)
+
+val print_table3 : Format.formatter -> result list -> unit

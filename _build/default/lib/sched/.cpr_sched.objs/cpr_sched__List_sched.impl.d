@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Array Cpr_analysis Cpr_ir Cpr_machine Int List Printf Prog Region Schedule Seq

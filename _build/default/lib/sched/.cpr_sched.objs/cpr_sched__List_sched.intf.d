@@ -1,0 +1,1 @@
+lib/sched/list_sched.mli: Cpr_analysis Cpr_ir Cpr_machine Prog Region Schedule

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Cpr_analysis Cpr_ir Cpr_machine Format Hashtbl List Op Option Region Seq

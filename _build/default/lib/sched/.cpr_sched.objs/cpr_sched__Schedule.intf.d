@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Cpr_analysis Cpr_ir Cpr_machine Format Op Region

@@ -1,0 +1,78 @@
+open Cpr_ir
+module Descr = Cpr_machine.Descr
+module Resource = Cpr_machine.Resource
+module Depgraph = Cpr_analysis.Depgraph
+
+let schedule machine prog liveness (region : Region.t) =
+  let graph = Depgraph.build machine prog liveness region in
+  let n = Depgraph.n_ops graph in
+  let ops = Array.init n (Depgraph.op graph) in
+  let priority = Depgraph.priority graph in
+  let cycle = Array.make n (-1) in
+  let resources = Resource.create machine in
+  let unscheduled = ref n in
+  let ready_time i =
+    (* Defined only once all predecessors are placed. *)
+    List.fold_left
+      (fun acc (e : Depgraph.edge) ->
+        if cycle.(e.Depgraph.src) < 0 then max_int
+        else max acc (cycle.(e.Depgraph.src) + e.Depgraph.latency))
+      0
+      (Depgraph.preds graph i)
+  in
+  let current = ref 0 in
+  (* Upper bound on useful cycles: everything sequential at max latency. *)
+  let fuel = ref ((n + 1) * 16) in
+  while !unscheduled > 0 && !fuel > 0 do
+    decr fuel;
+    (* Zero- and negative-latency edges (branch anticipation, anti
+       dependences) allow producer and consumer in the same cycle, so
+       placements cascade within a cycle until fixpoint. *)
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let candidates = ref [] in
+      for i = 0 to n - 1 do
+        if cycle.(i) < 0 then begin
+          let r = ready_time i in
+          if r <> max_int && r <= !current then candidates := i :: !candidates
+        end
+      done;
+      let ordered =
+        List.sort
+          (fun a b ->
+            match Int.compare priority.(b) priority.(a) with
+            | 0 -> Int.compare a b
+            | c -> c)
+          !candidates
+      in
+      List.iter
+        (fun i ->
+          if Resource.available resources ~cycle:!current ops.(i) then begin
+            Resource.reserve resources ~cycle:!current ops.(i);
+            cycle.(i) <- !current;
+            decr unscheduled;
+            progress := true
+          end)
+        ordered
+    done;
+    incr current
+  done;
+  if !unscheduled > 0 then
+    invalid_arg
+      (Printf.sprintf "List_sched: no progress in region %s"
+         region.Region.label);
+  let length =
+    Array.to_seqi ops
+    |> Seq.fold_left
+         (fun acc (i, op) -> max acc (cycle.(i) + Descr.latency_of machine op))
+         0
+  in
+  { Schedule.region; ops; cycle; length }
+
+let schedule_prog machine prog =
+  let liveness = Cpr_analysis.Liveness.analyze prog in
+  List.map
+    (fun (r : Region.t) ->
+      (r.Region.label, schedule machine prog liveness r))
+    (Prog.regions prog)

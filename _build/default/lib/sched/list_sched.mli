@@ -1,0 +1,19 @@
+open Cpr_ir
+
+(** Cycle-based list scheduling for one region.
+
+    Greedy: at each cycle the dependence-ready operations are considered in
+    decreasing critical-path priority (ties broken by program order) and
+    issued while the machine has free slots of their unit class.  The EPIC
+    branch rules (no branch taking inside another taken branch's latency
+    window, speculation/anticipation constraints) are entirely encoded in
+    the dependence graph, so the scheduler itself is machine-generic. *)
+
+val schedule :
+  Cpr_machine.Descr.t -> Prog.t -> Cpr_analysis.Liveness.t -> Region.t
+  -> Schedule.t
+
+val schedule_prog :
+  Cpr_machine.Descr.t -> Prog.t -> (string * Schedule.t) list
+(** Schedule every region of the program (computing liveness once);
+    association list keyed by region label in layout order. *)

@@ -1,0 +1,65 @@
+open Cpr_ir
+module Descr = Cpr_machine.Descr
+module Depgraph = Cpr_analysis.Depgraph
+
+type t = {
+  region : Region.t;
+  ops : Op.t array;
+  cycle : int array;
+  length : int;
+}
+
+let branch_issue t id =
+  let found = ref None in
+  Array.iteri
+    (fun i (op : Op.t) -> if op.Op.id = id then found := Some t.cycle.(i))
+    t.ops;
+  !found
+
+let check machine graph t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  List.iter
+    (fun (e : Depgraph.edge) ->
+      if t.cycle.(e.Depgraph.dst) < t.cycle.(e.Depgraph.src) + e.Depgraph.latency
+      then
+        err "edge %d->%d (lat %d) violated: cycles %d, %d"
+          t.ops.(e.Depgraph.src).Op.id t.ops.(e.Depgraph.dst).Op.id
+          e.Depgraph.latency
+          t.cycle.(e.Depgraph.src) t.cycle.(e.Depgraph.dst))
+    (Depgraph.edges graph);
+  let resources = Cpr_machine.Resource.create machine in
+  Array.iteri
+    (fun i op ->
+      if not (Cpr_machine.Resource.available resources ~cycle:t.cycle.(i) op)
+      then err "resource overflow at cycle %d for op %d" t.cycle.(i) op.Op.id
+      else Cpr_machine.Resource.reserve resources ~cycle:t.cycle.(i) op)
+    t.ops;
+  let computed_length =
+    Array.to_seqi t.ops
+    |> Seq.fold_left
+         (fun acc (i, op) -> max acc (t.cycle.(i) + Descr.latency_of machine op))
+         0
+  in
+  if computed_length <> t.length then
+    err "length mismatch: recorded %d, computed %d" t.length computed_length;
+  List.rev !errors
+
+let pp ppf t =
+  let by_cycle = Hashtbl.create 17 in
+  Array.iteri
+    (fun i op ->
+      let c = t.cycle.(i) in
+      Hashtbl.replace by_cycle c
+        (op :: Option.value ~default:[] (Hashtbl.find_opt by_cycle c)))
+    t.ops;
+  Format.fprintf ppf "@[<v>schedule %s (length %d)@," t.region.Region.label
+    t.length;
+  for c = 0 to t.length - 1 do
+    match Hashtbl.find_opt by_cycle c with
+    | None -> ()
+    | Some ops ->
+      Format.fprintf ppf "cycle %2d:@," c;
+      List.iter (fun op -> Format.fprintf ppf "  %a@," Op.pp op) (List.rev ops)
+  done;
+  Format.fprintf ppf "@]"

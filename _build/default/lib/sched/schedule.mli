@@ -1,0 +1,24 @@
+open Cpr_ir
+
+(** Region schedules produced by the list scheduler. *)
+
+type t = {
+  region : Region.t;
+  ops : Op.t array;  (** program order *)
+  cycle : int array;  (** issue cycle per op index *)
+  length : int;
+      (** schedule length: max over ops of issue + latency; the cost the
+          paper's estimator charges per region entry *)
+}
+
+val branch_issue : t -> int -> int option
+(** Issue cycle of the branch with the given op id. *)
+
+val check :
+  Cpr_machine.Descr.t -> Cpr_analysis.Depgraph.t -> t -> string list
+(** Verify the schedule respects every dependence edge and the machine's
+    per-cycle resources; returns human-readable violations (empty = valid).
+    Used by tests and property tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Cycle-by-cycle MultiOp listing. *)

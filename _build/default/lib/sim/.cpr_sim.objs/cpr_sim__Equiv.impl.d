@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Cpr_ir Format Hashtbl Int Interp List Option Prog Reg State

@@ -1,0 +1,1 @@
+lib/sim/equiv.mli: Cpr_ir Interp Prog Reg

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Cpr_ir List Op Option Prog Reg Region State

@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Cpr_ir Prog State

@@ -1,0 +1,1 @@
+lib/sim/state.ml: Cpr_ir Hashtbl Int List Option Reg

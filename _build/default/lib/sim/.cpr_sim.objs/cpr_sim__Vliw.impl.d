@@ -1,0 +1,1 @@
+lib/sim/vliw.ml: Array Cpr_ir Cpr_machine Cpr_sched Equiv Format Hashtbl Int Interp List Op Option Prog Reg Region State

@@ -1,0 +1,1 @@
+lib/sim/vliw.mli: Cpr_ir Cpr_machine Equiv Prog State

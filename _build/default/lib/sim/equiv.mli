@@ -1,0 +1,25 @@
+open Cpr_ir
+
+(** Differential equivalence checking between a program and its
+    transformed version.
+
+    Two programs are considered equivalent on an input when they reach the
+    same exit label, leave the same final memory, produce the same
+    per-address store sequences (transformations may not reorder writes to
+    one cell), and agree on the program's declared live-out registers. *)
+
+type input = {
+  memory : (int * int) list;
+  gprs : (Reg.t * int) list;
+  preds : (Reg.t * bool) list;
+}
+
+val no_input : input
+val input_of_memory : (int * int) list -> input
+
+val run_on : Prog.t -> input -> Interp.outcome
+
+val check : Prog.t -> Prog.t -> input -> (unit, string) result
+(** [check reference candidate input] *)
+
+val check_many : Prog.t -> Prog.t -> input list -> (unit, string) result

@@ -1,0 +1,28 @@
+open Cpr_ir
+
+(** Architectural (sequential, in-program-order) interpreter.
+
+    This is the reference semantics against which every transformation is
+    differentially tested, and the profiler that produces the branch
+    statistics driving the exit-weight and predict-taken heuristics. *)
+
+type outcome = {
+  state : State.t;
+  exit_label : string option;
+      (** the exit label reached, or [None] when a region with no
+          fallthrough ran off the end *)
+  ops_executed : int;  (** guard-true operations, the paper's dynamic count *)
+  ops_issued : int;  (** all operations of entered regions *)
+  branches_executed : int;  (** branches whose region was entered *)
+  steps : int;
+}
+
+exception Stuck of string
+
+val run :
+  ?state:State.t -> ?max_steps:int -> ?profile:bool -> Prog.t -> outcome
+(** Execute from the program entry.  [profile] (default false) records
+    entry and branch-taken counts into the program's regions (on top of
+    whatever is already recorded).  [max_steps] (default 1_000_000) bounds
+    executed operations; exceeding it raises [Stuck], as do malformed
+    programs (branch through an unset btr, unknown label). *)

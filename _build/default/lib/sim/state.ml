@@ -1,0 +1,39 @@
+open Cpr_ir
+
+type t = {
+  gprs : int Reg.Tbl.t;
+  preds : bool Reg.Tbl.t;
+  btrs : string Reg.Tbl.t;
+  memory : (int, int) Hashtbl.t;
+  mutable stores : (int * int) list;
+}
+
+let create () =
+  {
+    gprs = Reg.Tbl.create 64;
+    preds = Reg.Tbl.create 64;
+    btrs = Reg.Tbl.create 8;
+    memory = Hashtbl.create 256;
+    stores = [];
+  }
+
+let read_gpr t r = Option.value ~default:0 (Reg.Tbl.find_opt t.gprs r)
+let read_pred t r = Option.value ~default:false (Reg.Tbl.find_opt t.preds r)
+let read_btr t r = Reg.Tbl.find_opt t.btrs r
+let write_gpr t r v = Reg.Tbl.replace t.gprs r v
+let write_pred t r v = Reg.Tbl.replace t.preds r v
+let write_btr t r l = Reg.Tbl.replace t.btrs r l
+let read_mem t a = Option.value ~default:0 (Hashtbl.find_opt t.memory a)
+
+let write_mem t a v =
+  Hashtbl.replace t.memory a v;
+  t.stores <- (a, v) :: t.stores
+
+let set_memory t cells =
+  List.iter (fun (a, v) -> Hashtbl.replace t.memory a v) cells
+
+let store_trace t = List.rev t.stores
+
+let memory_snapshot t =
+  Hashtbl.fold (fun a v acc -> (a, v) :: acc) t.memory []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,32 @@
+open Cpr_ir
+
+(** Architectural machine state for the IR interpreter. *)
+
+type t = {
+  gprs : int Reg.Tbl.t;
+  preds : bool Reg.Tbl.t;
+  btrs : string Reg.Tbl.t;
+  memory : (int, int) Hashtbl.t;
+  mutable stores : (int * int) list;  (** write trace, newest first *)
+}
+
+val create : unit -> t
+
+val read_gpr : t -> Reg.t -> int
+(** Uninitialized registers read 0 (deterministic semantics so that
+    speculated reads in property tests are well-defined). *)
+
+val read_pred : t -> Reg.t -> bool
+val read_btr : t -> Reg.t -> string option
+val write_gpr : t -> Reg.t -> int -> unit
+val write_pred : t -> Reg.t -> bool -> unit
+val write_btr : t -> Reg.t -> string -> unit
+val read_mem : t -> int -> int
+val write_mem : t -> int -> int -> unit
+
+val set_memory : t -> (int * int) list -> unit
+val store_trace : t -> (int * int) list
+(** Oldest first. *)
+
+val memory_snapshot : t -> (int * int) list
+(** Sorted by address. *)

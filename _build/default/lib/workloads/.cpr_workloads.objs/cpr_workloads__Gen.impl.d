@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Builder Cpr_ir Cpr_sim Kernels List Op Printf

@@ -1,0 +1,1 @@
+lib/workloads/gen.mli: Cpr_ir Cpr_sim Prog

@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Builder Cpr_ir Cpr_sim List Op Printf

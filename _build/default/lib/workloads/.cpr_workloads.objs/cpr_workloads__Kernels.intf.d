@@ -1,0 +1,1 @@
+lib/workloads/kernels.mli: Cpr_ir Cpr_sim Op Prog

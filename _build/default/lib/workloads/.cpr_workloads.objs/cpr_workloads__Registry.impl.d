@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Cpr_ir Kernels List Strcpy Workload

@@ -1,0 +1,1 @@
+lib/workloads/strcpy.ml: Builder Cpr_ir Cpr_sim List Op Workload

@@ -1,0 +1,1 @@
+lib/workloads/strcpy.mli: Cpr_ir Cpr_sim Prog Workload

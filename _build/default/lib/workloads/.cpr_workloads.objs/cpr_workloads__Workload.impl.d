@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Cpr_ir Cpr_sim Prog

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Cpr_ir Cpr_sim Prog

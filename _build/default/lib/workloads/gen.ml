@@ -1,0 +1,149 @@
+open Cpr_ir
+module B = Builder
+
+type shape = {
+  blocks : int;
+  ops_per_block : int;
+  loop : bool;
+  stores : bool;
+  loads : bool;
+  fp : bool;
+  exit_stubs : int;
+}
+
+type rng = { mutable state : int }
+
+let step rng =
+  rng.state <- Kernels.lcg rng.state;
+  rng.state
+
+let rand rng n = if n <= 0 then 0 else step rng mod n
+
+let shape_of_seed seed =
+  let rng = { state = Kernels.lcg (seed + 1) } in
+  {
+    blocks = 1 + rand rng 6;
+    ops_per_block = 1 + rand rng 5;
+    loop = rand rng 3 > 0;
+    stores = rand rng 4 > 0;
+    loads = rand rng 4 > 0;
+    fp = rand rng 4 = 0;
+    exit_stubs = 1 + rand rng 3;
+  }
+
+let conds = [| Op.Eq; Op.Ne; Op.Lt; Op.Le; Op.Gt; Op.Ge |]
+
+let arr_a = 1000
+let arr_b = 2000
+let cnt_cell = 900
+
+let prog_of_seed seed =
+  let shape = shape_of_seed seed in
+  let rng = { state = Kernels.lcg (seed + 2) } in
+  let ctx = B.create () in
+  let pool = B.gprs ctx 8 in
+  let base_a = B.gpr ctx and base_b = B.gpr ctx and base_z = B.gpr ctx in
+  let cnt = B.gpr ctx in
+  let pick () = pool.(rand rng (Array.length pool)) in
+  let stub_label k = Printf.sprintf "Stub%d" (k + 1) in
+  let random_op e =
+    match rand rng 10 with
+    | 0 | 1 when shape.loads ->
+      let d = pick () in
+      let (_ : Op.t) = B.load e d ~base:base_a ~off:(rand rng 16) in
+      ()
+    | 2 when shape.stores ->
+      let (_ : Op.t) =
+        B.store e ~base:base_b ~off:(rand rng 8) (Op.Reg (pick ()))
+      in
+      ()
+    | 3 when shape.fp ->
+      let d = pick () in
+      let opc = if rand rng 2 = 0 then Op.Fadd else Op.Fmul in
+      let (_ : Op.t) =
+        B.emit e (Op.Falu opc) [ d ] [ Op.Reg (pick ()); Op.Reg (pick ()) ]
+      in
+      ()
+    | n ->
+      let d = pick () in
+      let opc =
+        match n mod 5 with
+        | 0 -> Op.Add
+        | 1 -> Op.Sub
+        | 2 -> Op.Xor
+        | 3 -> Op.And_
+        | _ -> Op.Or_
+      in
+      let src2 =
+        if rand rng 2 = 0 then Op.Reg (pick ()) else Op.Imm (rand rng 7 - 3)
+      in
+      let (_ : Op.t) = B.alu e opc d (Op.Reg (pick ())) src2 in
+      ()
+  in
+  let main_label = "Main" in
+  let start =
+    B.region ctx "Start" ~fallthrough:main_label (fun e ->
+        let (_ : Op.t) = B.movi e base_a arr_a in
+        let (_ : Op.t) = B.movi e base_b arr_b in
+        let (_ : Op.t) = B.movi e base_z 0 in
+        Array.iteri
+          (fun i r ->
+            let (_ : Op.t) = B.load e r ~base:base_a ~off:(32 + i) in
+            ())
+          pool;
+        if shape.loop then begin
+          let (_ : Op.t) = B.load e cnt ~base:base_z ~off:cnt_cell in
+          ()
+        end)
+  in
+  let main =
+    B.region ctx main_label ~fallthrough:"Exit" (fun e ->
+        for _b = 1 to shape.blocks do
+          for _o = 1 to shape.ops_per_block do
+            random_op e
+          done;
+          let p = B.pred ctx in
+          let cond = conds.(rand rng (Array.length conds)) in
+          let (_ : Op.t) =
+            B.cmpp1 e cond Op.Un p (Op.Reg (pick ())) (Op.Imm (rand rng 5 - 2))
+          in
+          let target = stub_label (rand rng shape.exit_stubs) in
+          let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) target in
+          ()
+        done;
+        if shape.loop then begin
+          let p = B.pred ctx in
+          let (_ : Op.t) = B.addi e cnt cnt (-1) in
+          let (_ : Op.t) = B.cmpp1 e Op.Gt Op.Un p (Op.Reg cnt) (Op.Imm 0) in
+          let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) main_label in
+          ()
+        end)
+  in
+  let stubs =
+    List.init shape.exit_stubs (fun k ->
+        B.region ctx (stub_label k) ~fallthrough:"Exit" (fun e ->
+            let d = pick () in
+            let (_ : Op.t) = B.alu e Op.Add d (Op.Reg (pick ())) (Op.Imm k) in
+            if shape.stores then begin
+              let (_ : Op.t) =
+                B.store e ~base:base_b ~off:(20 + k) (Op.Reg d)
+              in
+              ()
+            end))
+  in
+  B.prog ctx ~entry:"Start" ~exit_labels:[ "Exit" ]
+    ~live_out:[ pool.(0); pool.(1) ]
+    ~noalias_bases:[ base_a; base_b; base_z ]
+    (start :: main :: stubs)
+
+let input_of_seed prog_seed ~seed =
+  ignore prog_seed;
+  let rng = { state = Kernels.lcg (seed + 3) } in
+  let cells = ref [ (cnt_cell, 1 + rand rng 6) ] in
+  for i = 0 to 63 do
+    cells := (arr_a + i, rand rng 9 - 4) :: !cells
+  done;
+  Cpr_sim.Equiv.input_of_memory !cells
+
+let inputs_of_seed prog_seed =
+  List.init 4 (fun k -> input_of_seed prog_seed ~seed:(prog_seed + (k * 37)))

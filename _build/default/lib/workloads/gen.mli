@@ -1,0 +1,27 @@
+open Cpr_ir
+
+(** Seeded random program generator for property-based testing.
+
+    Programs are guaranteed to terminate: the region graph is a chain of
+    superblocks with side exits into small stub regions, optionally
+    wrapped in a counted loop whose counter strictly decreases.  All
+    constructions are deterministic functions of the seed. *)
+
+type shape = {
+  blocks : int;  (** basic blocks per superblock (branches + 1) *)
+  ops_per_block : int;
+  loop : bool;  (** wrap in a counted loop *)
+  stores : bool;
+  loads : bool;
+  fp : bool;
+  exit_stubs : int;  (** distinct side-exit stub regions *)
+}
+
+val shape_of_seed : int -> shape
+val prog_of_seed : int -> Prog.t
+val input_of_seed : int -> seed:int -> Cpr_sim.Equiv.input
+(** First argument is the program seed (sizes must match); [seed] varies
+    the data. *)
+
+val inputs_of_seed : int -> Cpr_sim.Equiv.input list
+(** A handful of inputs with varying bias. *)

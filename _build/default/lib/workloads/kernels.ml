@@ -1,0 +1,419 @@
+open Cpr_ir
+module B = Builder
+
+let text_base = 1000
+let second_base = 20000
+let out_base = 30000
+let counts_base = 40000
+let table_base = 50000
+let count_cell = 900
+let cold_flag_cell = 901
+
+let lcg x = ((x * 1103515245) + 12345) land 0x3FFFFFFF
+
+type stream_spec = {
+  unroll : int;
+  work : int;
+  fp : int;
+  store : bool;
+  accumulate : bool;
+  two_streams : bool;
+  exit_cond : Op.cond;
+  exit_arg : int;
+  counted : bool;
+  cold_regions : int;
+  cold_size : int;
+}
+
+let default_stream =
+  {
+    unroll = 4;
+    work = 1;
+    fp = 0;
+    store = true;
+    accumulate = false;
+    two_streams = false;
+    exit_cond = Op.Eq;
+    exit_arg = 0;
+    counted = false;
+    cold_regions = 0;
+    cold_size = 0;
+  }
+
+(* A chain of [n] dependent integer ops seeded by [v]; returns the final
+   register (or [v] when n = 0). *)
+let work_chain ctx e n v =
+  let cur = ref v in
+  for k = 1 to n do
+    let d = B.gpr ctx in
+    let opc = if k mod 2 = 0 then Op.Xor else Op.Add in
+    let (_ : Op.t) = B.alu e opc d (Op.Reg !cur) (Op.Imm (k * 3)) in
+    cur := d
+  done;
+  !cur
+
+let fp_chain ctx e n v =
+  let cur = ref v in
+  for k = 1 to n do
+    let d = B.gpr ctx in
+    let opc = if k mod 2 = 0 then Op.Fmul else Op.Fadd in
+    let (_ : Op.t) = B.emit e (Op.Falu opc) [ d ] [ Op.Reg !cur; Op.Imm k ] in
+    cur := d
+  done;
+  !cur
+
+(* Never-entered regions guarded by a flag cell that inputs keep 0;
+   they contribute static code (and static branches) like the cold
+   majority of a real application. *)
+let cold_chain ctx ~regions ~size ~exit_label =
+  List.init regions (fun k ->
+      let label = Printf.sprintf "Cold%d" (k + 1) in
+      let next =
+        if k = regions - 1 then exit_label else Printf.sprintf "Cold%d" (k + 2)
+      in
+      B.region ctx label ~fallthrough:next (fun e ->
+          let v = B.gpr ctx in
+          let (_ : Op.t) = B.load e v ~base:v ~off:(cold_flag_cell + k) in
+          let w = ref v in
+          for j = 1 to max 1 (size - 4) do
+            let d = B.gpr ctx in
+            let (_ : Op.t) = B.alu e Op.Add d (Op.Reg !w) (Op.Imm j) in
+            w := d
+          done;
+          let p = B.pred ctx in
+          let (_ : Op.t) =
+            B.cmpp1 e Op.Gt Op.Un p (Op.Reg !w) (Op.Imm 1_000_000)
+          in
+          let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) exit_label in
+          ()))
+
+let cold_hook ctx e ~cold_regions =
+  if cold_regions > 0 then begin
+    let flag = B.gpr ctx and base = B.gpr ctx and p = B.pred ctx in
+    let (_ : Op.t) = B.movi e base 0 in
+    let (_ : Op.t) = B.load e flag ~base ~off:cold_flag_cell in
+    let (_ : Op.t) = B.cmpp1 e Op.Ne Op.Un p (Op.Reg flag) (Op.Imm 0) in
+    let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Cold1" in
+    ()
+  end
+
+let stream_prog spec =
+  let ctx = B.create () in
+  let r_text = B.gpr ctx and r_second = B.gpr ctx and r_out = B.gpr ctx in
+  let r_cnt = B.gpr ctx and r_acc = B.gpr ctx and r_zero = B.gpr ctx in
+  let carried = B.gpr ctx in
+  let start =
+    B.region ctx "Start" ~fallthrough:"Loop" (fun e ->
+        let (_ : Op.t) = B.movi e r_text text_base in
+        if spec.two_streams then
+          ignore (B.movi e r_second second_base : Op.t);
+        if spec.store then ignore (B.movi e r_out out_base : Op.t);
+        if spec.accumulate then ignore (B.movi e r_acc 0 : Op.t);
+        cold_hook ctx e ~cold_regions:spec.cold_regions;
+        if spec.counted then begin
+          let (_ : Op.t) = B.movi e r_zero 0 in
+          let (_ : Op.t) = B.load e r_cnt ~base:r_zero ~off:count_cell in
+          ()
+        end
+        else begin
+          (* Sentinel style: preload the first element and exit if it
+             already satisfies the exit condition (strcpy's preheader). *)
+          let p = B.pred ctx in
+          let (_ : Op.t) = B.load e carried ~base:r_text ~off:0 in
+          let (_ : Op.t) =
+            B.cmpp1 e spec.exit_cond Op.Un p (Op.Reg carried)
+              (Op.Imm spec.exit_arg)
+          in
+          let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Exit" in
+          ()
+        end)
+  in
+  (* Per slot: the value the exit condition tests, and its rhs. *)
+  let slot_compare e i v =
+    if spec.two_streams then begin
+      let a = B.gpr ctx and v2 = B.gpr ctx in
+      let (_ : Op.t) = B.addi e a r_second i in
+      let (_ : Op.t) = B.load e v2 ~base:a ~off:0 in
+      (Op.Reg v, Op.Reg v2)
+    end
+    else (Op.Reg v, Op.Imm spec.exit_arg)
+  in
+  let finish_slot e i v =
+    (* work, fp, and store/accumulate for the element in [v] *)
+    if spec.work > 0 || spec.fp > 0 || spec.store || spec.accumulate then begin
+      let w = work_chain ctx e spec.work v in
+      let w = fp_chain ctx e spec.fp w in
+      if spec.store then begin
+        let a = B.gpr ctx in
+        let (_ : Op.t) = B.addi e a r_out i in
+        let (_ : Op.t) = B.store e ~base:a ~off:0 (Op.Reg w) in
+        ()
+      end;
+      if spec.accumulate then begin
+        let (_ : Op.t) = B.alu e Op.Add r_acc (Op.Reg r_acc) (Op.Reg w) in
+        ()
+      end
+    end
+  in
+  let loop =
+    B.region ctx "Loop" ~fallthrough:"Exit" (fun e ->
+        if spec.counted then begin
+          for i = 0 to spec.unroll - 1 do
+            let a = B.gpr ctx and v = B.gpr ctx and p = B.pred ctx in
+            let (_ : Op.t) = B.addi e a r_text i in
+            let (_ : Op.t) = B.load e v ~base:a ~off:0 in
+            finish_slot e i v;
+            let lhs, rhs = slot_compare e i v in
+            let (_ : Op.t) = B.cmpp1 e spec.exit_cond Op.Un p lhs rhs in
+            let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Exit" in
+            ()
+          done;
+          let (_ : Op.t) = B.addi e r_text r_text spec.unroll in
+          if spec.two_streams then begin
+            let (_ : Op.t) = B.addi e r_second r_second spec.unroll in
+            ()
+          end;
+          if spec.store then begin
+            let (_ : Op.t) = B.addi e r_out r_out spec.unroll in
+            ()
+          end;
+          let (_ : Op.t) = B.addi e r_cnt r_cnt (-spec.unroll) in
+          let p = B.pred ctx in
+          let (_ : Op.t) = B.cmpp1 e Op.Gt Op.Un p (Op.Reg r_cnt) (Op.Imm 0) in
+          let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Loop" in
+          ()
+        end
+        else begin
+          (* strcpy shape: slot i consumes the element loaded by slot i-1
+             (the preheader for slot 0); the final slot loads the carried
+             element and loops back while it does not satisfy the exit
+             condition. *)
+          let prev = ref carried in
+          for i = 0 to spec.unroll - 1 do
+            finish_slot e i !prev;
+            let a = B.gpr ctx in
+            let (_ : Op.t) = B.addi e a r_text (i + 1) in
+            if i < spec.unroll - 1 then begin
+              let v = B.gpr ctx and p = B.pred ctx in
+              let (_ : Op.t) = B.load e v ~base:a ~off:0 in
+              let (_ : Op.t) =
+                B.cmpp1 e spec.exit_cond Op.Un p (Op.Reg v)
+                  (Op.Imm spec.exit_arg)
+              in
+              let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Exit" in
+              prev := v
+            end
+            else begin
+              let p = B.pred ctx in
+              let (_ : Op.t) = B.load e carried ~base:a ~off:0 in
+              let (_ : Op.t) = B.addi e r_text r_text spec.unroll in
+              if spec.store then begin
+                let (_ : Op.t) = B.addi e r_out r_out spec.unroll in
+                ()
+              end;
+              let (_ : Op.t) =
+                B.cmpp1 e (Op.negate_cond spec.exit_cond) Op.Un p
+                  (Op.Reg carried) (Op.Imm spec.exit_arg)
+              in
+              let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Loop" in
+              ()
+            end
+          done
+        end)
+  in
+  let colds =
+    cold_chain ctx ~regions:spec.cold_regions ~size:spec.cold_size
+      ~exit_label:"Exit"
+  in
+  B.prog ctx ~entry:"Start" ~exit_labels:[ "Exit" ]
+    ~live_out:(if spec.accumulate then [ r_acc ] else [])
+    ~noalias_bases:[ r_text; r_second; r_out; r_zero ]
+    (start :: loop :: colds)
+
+(* A value satisfying (or violating) [cond _ arg]. *)
+let value_for cond arg ~fire rnd =
+  let off = 1 + (rnd mod 13) in
+  match (cond, fire) with
+  | Op.Eq, true | Op.Ne, false | Op.Le, true | Op.Ge, true -> arg
+  | Op.Eq, false | Op.Ne, true -> arg + off
+  | Op.Lt, true -> arg - off
+  | Op.Lt, false | Op.Le, false -> arg + off
+  | Op.Gt, true -> arg + off
+  | Op.Gt, false | Op.Ge, false -> arg - off
+
+let stream_input ~spec ~len ~exit_probability ~seed =
+  let rnd = ref (lcg (seed + 17)) in
+  let next () =
+    rnd := lcg !rnd;
+    !rnd
+  in
+  let fire () = float_of_int (next () mod 10_000) < exit_probability *. 10_000. in
+  let cells = ref [ (cold_flag_cell, 0) ] in
+  if spec.counted then cells := (count_cell, len) :: !cells;
+  for i = 0 to len + spec.unroll do
+    let is_terminator = (not spec.counted) && i = len - 1 in
+    let fires = i < len && (is_terminator || fire ()) in
+    if spec.two_streams then begin
+      (* the condition compares a[i] against b[i] *)
+      let a = 10 + (next () mod 200) in
+      let b = value_for spec.exit_cond a ~fire:fires (next ()) in
+      cells := (second_base + i, b) :: (text_base + i, a) :: !cells
+    end
+    else
+      cells :=
+        (text_base + i, value_for spec.exit_cond spec.exit_arg ~fire:fires (next ()))
+        :: !cells
+  done;
+  Cpr_sim.Equiv.input_of_memory (List.rev !cells)
+
+type case_spec = {
+  match_value : int;
+  handler_work : int;
+}
+
+type dispatch_spec = {
+  cases : case_spec list;
+  d_unroll : int;
+  inline_work : int;
+  table_lookup : bool;
+  d_cold_regions : int;
+  d_cold_size : int;
+}
+
+let default_dispatch =
+  {
+    cases = [ { match_value = 35; handler_work = 4 } ];
+    d_unroll = 3;
+    inline_work = 3;
+    table_lookup = false;
+    d_cold_regions = 0;
+    d_cold_size = 0;
+  }
+
+let dispatch_prog spec =
+  let ctx = B.create () in
+  let r_text = B.gpr ctx and r_out = B.gpr ctx and r_cnt = B.gpr ctx in
+  let r_zero = B.gpr ctx and r_table = B.gpr ctx in
+  let start =
+    B.region ctx "Start" ~fallthrough:"Loop" (fun e ->
+        let (_ : Op.t) = B.movi e r_text text_base in
+        let (_ : Op.t) = B.movi e r_out out_base in
+        let (_ : Op.t) = B.movi e r_zero 0 in
+        if spec.table_lookup then
+          ignore (B.movi e r_table table_base : Op.t);
+        cold_hook ctx e ~cold_regions:spec.d_cold_regions;
+        let (_ : Op.t) = B.load e r_cnt ~base:r_zero ~off:count_cell in
+        ())
+  in
+  let handler_label j i = Printf.sprintf "Case%d_%d" (j + 1) i in
+  let loop =
+    B.region ctx "Loop" ~fallthrough:"Advance" (fun e ->
+        for i = 0 to spec.d_unroll - 1 do
+          let a = B.gpr ctx and v = B.gpr ctx in
+          let (_ : Op.t) = B.addi e a r_text i in
+          let (_ : Op.t) = B.load e v ~base:a ~off:0 in
+          List.iteri
+            (fun j (c : case_spec) ->
+              let p = B.pred ctx in
+              let (_ : Op.t) =
+                B.cmpp1 e Op.Eq Op.Un p (Op.Reg v) (Op.Imm c.match_value)
+              in
+              let (_ : Op.t) =
+                B.branch_to e ~guard:(Op.If p) (handler_label j i)
+              in
+              ())
+            spec.cases;
+          let w =
+            if spec.table_lookup then begin
+              let m = B.gpr ctx and a = B.gpr ctx and t = B.gpr ctx in
+              let (_ : Op.t) = B.alu e Op.And_ m (Op.Reg v) (Op.Imm 63) in
+              let (_ : Op.t) = B.add e a r_table m in
+              let (_ : Op.t) = B.load e t ~base:a ~off:0 in
+              work_chain ctx e spec.inline_work t
+            end
+            else work_chain ctx e spec.inline_work v
+          in
+          let a_out = B.gpr ctx in
+          let (_ : Op.t) = B.addi e a_out r_out i in
+          let (_ : Op.t) = B.store e ~base:a_out ~off:0 (Op.Reg w) in
+          ()
+        done)
+  in
+  let advance =
+    B.region ctx "Advance" ~fallthrough:"Back" (fun e ->
+        let (_ : Op.t) = B.addi e r_text r_text spec.d_unroll in
+        let (_ : Op.t) = B.addi e r_out r_out spec.d_unroll in
+        let (_ : Op.t) = B.addi e r_cnt r_cnt (-spec.d_unroll) in
+        ())
+  in
+  let back =
+    B.region ctx "Back" ~fallthrough:"Exit" (fun e ->
+        let p = B.pred ctx in
+        let (_ : Op.t) = B.cmpp1 e Op.Gt Op.Un p (Op.Reg r_cnt) (Op.Imm 0) in
+        let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Loop" in
+        ())
+  in
+  (* One duplicated handler per (case, slot): bump the case counter, then
+     resume scanning just past the special element. *)
+  let handlers =
+    List.concat
+      (List.mapi
+         (fun j (c : case_spec) ->
+           List.init spec.d_unroll (fun i ->
+               B.region ctx (handler_label j i) ~fallthrough:"Back" (fun e ->
+                   let v = B.gpr ctx and w0 = B.gpr ctx in
+                   let (_ : Op.t) =
+                     B.emit e Op.Load [ v ]
+                       [ Op.Reg r_zero; Op.Imm (counts_base + j) ]
+                   in
+                   let (_ : Op.t) = B.alu e Op.Add w0 (Op.Reg v) (Op.Imm 1) in
+                   let w = work_chain ctx e c.handler_work w0 in
+                   let (_ : Op.t) =
+                     B.emit e Op.Store []
+                       [ Op.Reg r_zero; Op.Imm (counts_base + j); Op.Reg w ]
+                   in
+                   let (_ : Op.t) = B.addi e r_text r_text (i + 1) in
+                   let (_ : Op.t) = B.addi e r_out r_out i in
+                   let (_ : Op.t) = B.addi e r_cnt r_cnt (-(i + 1)) in
+                   ())))
+         spec.cases)
+  in
+  let colds =
+    cold_chain ctx ~regions:spec.d_cold_regions ~size:spec.d_cold_size
+      ~exit_label:"Exit"
+  in
+  B.prog ctx ~entry:"Start" ~exit_labels:[ "Exit" ] ~live_out:[]
+    ~noalias_bases:[ r_text; r_out; r_zero; r_table ]
+    ((start :: loop :: advance :: back :: handlers) @ colds)
+
+let dispatch_input ~spec ~len ~case_probability ~seed =
+  let rnd = ref (lcg (seed + 29)) in
+  let next () =
+    rnd := lcg !rnd;
+    !rnd
+  in
+  let n_cases = max 1 (List.length spec.cases) in
+  let case_values =
+    List.map (fun (c : case_spec) -> c.match_value) spec.cases
+  in
+  let normal () =
+    (* a value that matches no case *)
+    let rec go v = if List.mem v case_values then go (v + 1) else v in
+    go (200 + (next () mod 50))
+  in
+  let cells = ref [ (cold_flag_cell, 0); (count_cell, len) ] in
+  for i = 0 to len + spec.d_unroll do
+    let v =
+      if
+        i < len
+        && float_of_int (next () mod 10_000) < case_probability *. 10_000.
+      then List.nth case_values (next () mod n_cases)
+      else normal ()
+    in
+    cells := (text_base + i, v) :: !cells
+  done;
+  (* table contents for table_lookup kernels *)
+  for k = 0 to 63 do
+    cells := (table_base + k, (k * 7) + 1) :: !cells
+  done;
+  Cpr_sim.Equiv.input_of_memory (List.rev !cells)

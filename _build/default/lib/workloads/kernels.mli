@@ -1,0 +1,82 @@
+open Cpr_ir
+
+(** Parameterized kernel generators shared by the benchmark workloads.
+
+    Most of the paper's benchmarks reduce to one of two inner-loop shapes:
+
+    - {!stream_kernel}: scan an array with an unrolled loop; each slot
+      loads an element, runs some dependent integer/floating-point work,
+      optionally stores, and side-exits when a condition on the element
+      holds; the loop-back branch is predominantly taken.  (strcpy, cmp,
+      grep, wc, eqn, tbl, eqntott, compress, ear, ...)
+
+    - {!dispatch_kernel}: a tokenizer/interpreter loop; each iteration
+      loads an element and tests a chain of (rare) special cases, each
+      exiting to its own handler region which rejoins the loop; the
+      common case falls through to inline work.  (cccp, lex, yacc, cc1,
+      go, m88ksim, perl, vortex, ...)
+
+    All data addresses derive from bases declared pairwise non-aliasing;
+    inputs are generated with a deterministic LCG. *)
+
+type stream_spec = {
+  unroll : int;
+  work : int;  (** dependent integer ops per slot *)
+  fp : int;  (** floating-point ops per slot (class F) *)
+  store : bool;  (** store a result per slot *)
+  accumulate : bool;
+      (** keep a serial register reduction across slots (wc-style
+          counters) *)
+  two_streams : bool;
+      (** load a second element per slot and compare the two streams in
+          the exit condition (cmp / eqntott shape) *)
+  exit_cond : Op.cond;  (** side-exit when [elt cond exit_arg] *)
+  exit_arg : int;
+  counted : bool;
+      (** loop-back while a counter is positive, in addition to the data-
+          dependent side exits *)
+  cold_regions : int;  (** never-entered regions, for static-code realism *)
+  cold_size : int;
+}
+
+val default_stream : stream_spec
+
+val stream_prog : stream_spec -> Prog.t
+
+val stream_input :
+  spec:stream_spec -> len:int -> exit_probability:float -> seed:int
+  -> Cpr_sim.Equiv.input
+(** Array contents such that the slot exit condition fires with roughly
+    the given probability per element; the array is terminated in a way
+    that always ends the loop (sentinel for uncounted loops, length bound
+    for counted ones). *)
+
+type case_spec = {
+  match_value : int;  (** the special element value this case recognizes *)
+  handler_work : int;  (** integer ops in the handler region *)
+}
+
+type dispatch_spec = {
+  cases : case_spec list;  (** tested in order, each a side exit *)
+  d_unroll : int;
+      (** elements processed per loop iteration; each gets its own case
+          checks, and each (case, slot) pair its own duplicated handler
+          region — the shape of IMPACT's unrolled superblocks *)
+  inline_work : int;  (** common-path ops per element *)
+  table_lookup : bool;  (** add a dependent table load per element *)
+  d_cold_regions : int;
+  d_cold_size : int;
+}
+
+val default_dispatch : dispatch_spec
+
+val dispatch_prog : dispatch_spec -> Prog.t
+
+val dispatch_input :
+  spec:dispatch_spec -> len:int -> case_probability:float -> seed:int
+  -> Cpr_sim.Equiv.input
+(** Elements drawn so that each iteration triggers one of the special
+    cases with the given total probability (split evenly among cases). *)
+
+val lcg : int -> int
+(** Deterministic pseudo-random step used by the input generators. *)

@@ -1,0 +1,190 @@
+open Kernels
+
+let stream name description spec ~lens ~p =
+  Workload.make ~name ~description
+    (fun () -> stream_prog spec)
+    (fun () ->
+      List.mapi
+        (fun i len -> stream_input ~spec ~len ~exit_probability:p ~seed:(i * 7919))
+        lens)
+
+let dispatch name description spec ~lens ~p =
+  Workload.make ~name ~description
+    (fun () -> dispatch_prog spec)
+    (fun () ->
+      List.mapi
+        (fun i len -> dispatch_input ~spec ~len ~case_probability:p ~seed:(i * 104729))
+        lens)
+
+let case v w = { match_value = v; handler_work = w }
+
+let runs n len = List.init n (fun i -> len + (i * 7))
+
+(* SPEC-92 rows *)
+
+let espresso =
+  stream "008.espresso" "bit-set reduction loops, biased exits"
+    { default_stream with unroll = 4; work = 3; store = false; accumulate = true;
+      counted = true; cold_regions = 6; cold_size = 12 }
+    ~lens:(runs 10 260) ~p:0.02
+
+let li22 =
+  dispatch "022.li" "tag-dispatch interpreter loop, mild case bias"
+    { cases = [ case 3 4; case 9 6 ]; d_unroll = 2; inline_work = 4;
+      table_lookup = true; d_cold_regions = 8; d_cold_size = 12 }
+    ~lens:[ 1100; 700 ] ~p:0.10
+
+let eqntott =
+  stream "023.eqntott" "long bit-vector comparison superblock, mid-weight exits"
+    { default_stream with unroll = 16; work = 0; store = false;
+      two_streams = true; exit_cond = Cpr_ir.Op.Ne; counted = true;
+      cold_regions = 2; cold_size = 10 }
+    ~lens:(runs 12 320) ~p:0.015
+
+let compress26 =
+  dispatch "026.compress" "hash-probe loop, frequent miss case"
+    { cases = [ case 5 5 ]; d_unroll = 2; inline_work = 5; table_lookup = true;
+      d_cold_regions = 4; d_cold_size = 10 }
+    ~lens:[ 1100; 700 ] ~p:0.05
+
+let ear =
+  stream "056.ear" "floating-point filter loop, rare exits"
+    { default_stream with unroll = 4; work = 1; fp = 3; store = true;
+      counted = true; cold_regions = 4; cold_size = 10 }
+    ~lens:(runs 8 400) ~p:0.008
+
+let sc =
+  dispatch "072.sc" "cell-evaluation dispatch, moderately biased"
+    { cases = [ case 4 4; case 11 3; case 18 5 ]; d_unroll = 2; inline_work = 5;
+      table_lookup = false; d_cold_regions = 6; d_cold_size = 12 }
+    ~lens:[ 1000; 700 ] ~p:0.08
+
+let cc1 =
+  dispatch "085.cc1" "token dispatch, many cold regions, mixed bias"
+    { cases = [ case 2 3; case 7 4; case 13 3; case 21 5 ]; d_unroll = 2;
+      inline_work = 3; table_lookup = true; d_cold_regions = 12;
+      d_cold_size = 15 }
+    ~lens:[ 1100; 700 ] ~p:0.18
+
+(* SPEC-95 rows *)
+
+let go =
+  dispatch "099.go" "decision kernels dominated by unbiased branches"
+    { cases = [ case 3 4; case 8 4; case 15 4 ]; d_unroll = 2; inline_work = 4;
+      table_lookup = false; d_cold_regions = 8; d_cold_size = 12 }
+    ~lens:[ 1000; 700 ] ~p:0.55
+
+let m88ksim =
+  dispatch "124.m88ksim" "instruction-decode dispatch, biased"
+    { cases = [ case 6 4; case 12 5 ]; d_unroll = 3; inline_work = 5;
+      table_lookup = true; d_cold_regions = 8; d_cold_size = 12 }
+    ~lens:[ 1100; 700 ] ~p:0.10
+
+let gcc =
+  dispatch "126.gcc" "short superblocks, many cold regions, mixed bias"
+    { cases = [ case 2 3; case 5 3; case 9 4; case 17 3 ]; d_unroll = 2;
+      inline_work = 3; table_lookup = false; d_cold_regions = 14;
+      d_cold_size = 15 }
+    ~lens:[ 1100; 700 ] ~p:0.20
+
+let compress29 =
+  dispatch "129.compress" "hash-probe loop, frequent miss case (95 input)"
+    { cases = [ case 5 6 ]; d_unroll = 2; inline_work = 4; table_lookup = true;
+      d_cold_regions = 4; d_cold_size = 10 }
+    ~lens:[ 1300; 600 ] ~p:0.045
+
+let li130 =
+  dispatch "130.li" "tag-dispatch interpreter loop (95 input)"
+    { cases = [ case 3 5; case 9 4 ]; d_unroll = 2; inline_work = 4;
+      table_lookup = true; d_cold_regions = 8; d_cold_size = 12 }
+    ~lens:[ 1100; 600 ] ~p:0.09
+
+let ijpeg =
+  stream "132.ijpeg" "unrolled pixel transform, highly biased exits"
+    { default_stream with unroll = 8; work = 4; store = true; counted = true;
+      cold_regions = 6; cold_size = 12 }
+    ~lens:(runs 6 700) ~p:0.004
+
+let perl =
+  dispatch "134.perl" "opcode dispatch, biased"
+    { cases = [ case 4 4; case 10 4; case 19 5 ]; d_unroll = 3; inline_work = 4;
+      table_lookup = true; d_cold_regions = 10; d_cold_size = 12 }
+    ~lens:[ 1100; 700 ] ~p:0.15
+
+let vortex =
+  dispatch "147.vortex" "object-validation dispatch, biased"
+    { cases = [ case 5 5; case 14 6 ]; d_unroll = 3; inline_work = 6;
+      table_lookup = false; d_cold_regions = 12; d_cold_size = 12 }
+    ~lens:[ 1000; 700 ] ~p:0.08
+
+(* Unix utilities *)
+
+let cccp =
+  dispatch "cccp" "preprocessor char dispatch, rare special characters"
+    { cases = [ case 35 3; case 34 4; case 47 3 ]; d_unroll = 4; inline_work = 2;
+      table_lookup = false; d_cold_regions = 2; d_cold_size = 8 }
+    ~lens:[ 1600; 1000 ] ~p:0.05
+
+let cmp =
+  stream "cmp" "byte comparison, exit at first mismatch (very rare)"
+    { default_stream with unroll = 8; work = 0; store = false;
+      two_streams = true; exit_cond = Cpr_ir.Op.Ne; counted = true;
+      cold_regions = 1; cold_size = 8 }
+    ~lens:(runs 3 1600) ~p:0.001
+
+let eqn =
+  dispatch "eqn" "equation formatter, occasionally special tokens"
+    { cases = [ case 36 3; case 94 3 ]; d_unroll = 3; inline_work = 2;
+      table_lookup = false; d_cold_regions = 3; d_cold_size = 10 }
+    ~lens:[ 1200; 800 ] ~p:0.08
+
+let grep =
+  stream "grep" "first-character scan, matches very rare"
+    { default_stream with unroll = 8; work = 0; store = false;
+      exit_cond = Cpr_ir.Op.Eq; exit_arg = 42; counted = true;
+      cold_regions = 1; cold_size = 8 }
+    ~lens:(runs 6 900) ~p:0.008
+
+let lex =
+  dispatch "lex" "DFA transition loop, rare accepting states"
+    { cases = [ case 10 3; case 26 3; case 33 4 ]; d_unroll = 3; inline_work = 2;
+      table_lookup = true; d_cold_regions = 3; d_cold_size = 10 }
+    ~lens:[ 1500; 800 ] ~p:0.06
+
+let strcpy = Strcpy.workload
+
+let tbl =
+  dispatch "tbl" "table formatter, frequent separators"
+    { cases = [ case 9 3; case 124 3 ]; d_unroll = 2; inline_work = 3;
+      table_lookup = false; d_cold_regions = 4; d_cold_size = 10 }
+    ~lens:[ 1100; 700 ] ~p:0.10
+
+let wc =
+  stream "wc" "character-count loop, moderately rare flushes"
+    { default_stream with unroll = 4; work = 2; store = false; accumulate = true;
+      counted = true; cold_regions = 1; cold_size = 8 }
+    ~lens:(runs 14 180) ~p:0.025
+
+let yacc =
+  dispatch "yacc" "LR parser action dispatch, biased shifts"
+    { cases = [ case 7 4; case 15 3; case 23 4 ]; d_unroll = 3; inline_work = 3;
+      table_lookup = true; d_cold_regions = 4; d_cold_size = 10 }
+    ~lens:[ 1200; 700 ] ~p:0.10
+
+let all =
+  [
+    espresso; li22; eqntott; compress26; ear; sc; cc1;
+    go; m88ksim; gcc; compress29; li130; ijpeg; perl; vortex;
+    cccp; cmp; eqn; grep; lex; strcpy; tbl; wc; yacc;
+  ]
+
+let names = List.map (fun (w : Workload.t) -> w.Workload.name) all
+
+let spec95_names =
+  [
+    "099.go"; "124.m88ksim"; "126.gcc"; "129.compress"; "130.li";
+    "132.ijpeg"; "134.perl"; "147.vortex";
+  ]
+
+let find name =
+  List.find_opt (fun (w : Workload.t) -> w.Workload.name = name) all

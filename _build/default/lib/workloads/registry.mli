@@ -1,0 +1,13 @@
+(** The benchmark suite: one workload per row of the paper's Tables 2/3
+    (SPEC-92 and SPEC-95 applications and Unix utilities), each a
+    parameterized {!Kernels} instance whose branch biases, region shapes
+    and cold-code fraction mirror the paper's qualitative description of
+    that benchmark (see DESIGN.md for the substitution argument). *)
+
+val all : Workload.t list
+(** In the paper's row order. *)
+
+val find : string -> Workload.t option
+val names : string list
+val spec95_names : string list
+(** The rows the paper aggregates as Gmean-spec95. *)

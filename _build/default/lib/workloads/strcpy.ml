@@ -1,0 +1,74 @@
+open Cpr_ir
+module B = Builder
+
+let a_base = 1000
+let b_base = 2000
+
+(* Registers are allocated in a fixed layout so tests can refer to them:
+   r1 = A cursor, r2 = B cursor, r3 = carried element (the paper's r34). *)
+let build ?(unroll = 4) () =
+  let ctx = B.create () in
+  let r1 = B.gpr ctx and r2 = B.gpr ctx and carried = B.gpr ctx in
+  let p0 = B.pred ctx in
+  let start =
+    B.region ctx "Start" ~fallthrough:"Loop" (fun e ->
+        let open B in
+        movi e r1 a_base |> ignore;
+        movi e r2 b_base |> ignore;
+        load e carried ~base:r1 ~off:0 |> ignore;
+        cmpp1 e Op.Eq Op.Un p0 (Op.Reg carried) (Op.Imm 0) |> ignore;
+        branch_to e ~guard:(Op.If p0) "Exit" |> ignore)
+  in
+  let loop =
+    B.region ctx "Loop" ~fallthrough:"Exit" (fun e ->
+        let open B in
+        (* Iterations 0 .. unroll-1: store the carried element, load the
+           next, exit when it is the terminator.  The element loaded by
+           slot i becomes the carried element of slot i+1. *)
+        let prev = ref carried in
+        for i = 0 to unroll - 1 do
+          let addr_b = gpr ctx and addr_a = gpr ctx in
+          addi e addr_b r2 i |> ignore;
+          store e ~base:addr_b ~off:0 (Op.Reg !prev) |> ignore;
+          addi e addr_a r1 (i + 1) |> ignore;
+          if i < unroll - 1 then begin
+            let v = gpr ctx and p = B.pred ctx in
+            load e v ~base:addr_a ~off:0 |> ignore;
+            cmpp1 e Op.Eq Op.Un p (Op.Reg v) (Op.Imm 0) |> ignore;
+            branch_to e ~guard:(Op.If p) "Exit" |> ignore;
+            prev := v
+          end
+          else begin
+            (* Final slot: load into the carried register, advance the
+               cursors, and loop back while the element is non-zero. *)
+            let p = B.pred ctx in
+            load e carried ~base:addr_a ~off:0 |> ignore;
+            addi e r1 r1 unroll |> ignore;
+            addi e r2 r2 unroll |> ignore;
+            cmpp1 e Op.Ne Op.Un p (Op.Reg carried) (Op.Imm 0) |> ignore;
+            branch_to e ~guard:(Op.If p) "Loop" |> ignore
+          end
+        done)
+  in
+  B.prog ctx ~entry:"Start" ~exit_labels:[ "Exit" ] ~live_out:[]
+    ~noalias_bases:[ r1; r2 ] [ start; loop ]
+
+let string_input elts =
+  let cells =
+    List.mapi (fun i v -> (a_base + i, if v = 0 then 1 else abs v)) elts
+    @ [ (a_base + List.length elts, 0) ]
+  in
+  Cpr_sim.Equiv.input_of_memory cells
+
+let inputs ?(lengths = [ 0; 1; 3; 7; 8; 13; 64; 400 ]) () =
+  List.map
+    (fun len -> string_input (List.init len (fun i -> 1 + ((i * 7 + 3) mod 250))))
+    lengths
+
+let workload =
+  Workload.make ~name:"strcpy"
+    ~description:"unrolled string copy, highly biased separable exits"
+    (fun () -> build ~unroll:8 ())
+    (fun () -> inputs ())
+
+let paper_example () = build ~unroll:4 ()

@@ -1,0 +1,24 @@
+open Cpr_ir
+
+(** The paper's running example (Section 6): a string-copy inner loop
+    unrolled [unroll] times, in exactly the shape of Figure 6(b) — per
+    unrolled iteration a store of the previously loaded element, the next
+    load, a compare and a conditional exit; the final branch is the
+    likely-taken loop-back. *)
+
+val a_base : int
+val b_base : int
+
+val build : ?unroll:int -> unit -> Prog.t
+
+val string_input : int list -> Cpr_sim.Equiv.input
+(** Memory image with the given non-zero elements at [a_base], zero
+    terminated. *)
+
+val inputs : ?lengths:int list -> unit -> Cpr_sim.Equiv.input list
+
+val workload : Workload.t
+(** unroll 8, mixed string lengths — the Table 2/3 row. *)
+
+val paper_example : unit -> Prog.t
+(** unroll 4: the exact Figure 6(b) configuration. *)

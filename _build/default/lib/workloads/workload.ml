@@ -1,0 +1,10 @@
+open Cpr_ir
+
+type t = {
+  name : string;
+  description : string;
+  build : unit -> Prog.t;
+  inputs : unit -> Cpr_sim.Equiv.input list;
+}
+
+let make ~name ~description build inputs = { name; description; build; inputs }

@@ -1,0 +1,19 @@
+open Cpr_ir
+
+(** A benchmark: a program builder plus training inputs.
+
+    Each workload stands in for one row of the paper's Tables 2/3 (see
+    DESIGN.md for the substitution rationale); its branch-bias and
+    region-shape parameters mirror the qualitative description the paper
+    gives of that benchmark. *)
+
+type t = {
+  name : string;
+  description : string;
+  build : unit -> Prog.t;
+  inputs : unit -> Cpr_sim.Equiv.input list;
+}
+
+val make :
+  name:string -> description:string -> (unit -> Prog.t)
+  -> (unit -> Cpr_sim.Equiv.input list) -> t

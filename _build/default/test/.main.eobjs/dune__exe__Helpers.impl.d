@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Builder Cpr_core Cpr_ir Cpr_pipeline Cpr_sim Cpr_workloads List Op Option Prog Reg Region Validate

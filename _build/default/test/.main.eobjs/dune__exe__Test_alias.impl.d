@@ -1,0 +1,1 @@
+test/test_alias.ml: Alcotest Array Builder Cpr_analysis Cpr_ir Helpers List Op Prog Reg Region

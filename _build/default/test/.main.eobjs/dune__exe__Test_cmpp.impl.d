@@ -1,0 +1,1 @@
+test/test_cmpp.ml: Alcotest Array Builder Cpr_ir Cpr_sim Helpers List Op Printf

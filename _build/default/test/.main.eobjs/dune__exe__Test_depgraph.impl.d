@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Array Builder Cpr_analysis Cpr_core Cpr_ir Cpr_machine Helpers List Op Prog Region

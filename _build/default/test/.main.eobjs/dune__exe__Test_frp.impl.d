@@ -1,0 +1,1 @@
+test/test_frp.ml: Alcotest Array Builder Cpr_analysis Cpr_core Cpr_ir Cpr_sim Cpr_workloads Fun Helpers List Op Prog QCheck2 QCheck_alcotest Region Validate

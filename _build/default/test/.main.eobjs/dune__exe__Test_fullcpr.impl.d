@@ -1,0 +1,1 @@
+test/test_fullcpr.ml: Array Cpr_analysis Cpr_core Cpr_ir Cpr_machine Cpr_pipeline Cpr_sim Cpr_workloads Fun Helpers List Op Option Printf Prog QCheck2 QCheck_alcotest Region Validate

@@ -1,0 +1,1 @@
+test/test_icbm.ml: Alcotest Builder Cpr_core Cpr_ir Cpr_machine Cpr_pipeline Cpr_sim Cpr_workloads Helpers List Op Option Printf Prog Reg Region Stats_ir String Validate

@@ -1,0 +1,1 @@
+test/test_ifconv.ml: Builder Cpr_core Cpr_ir Cpr_pipeline Cpr_sim Cpr_workloads Helpers List Op Prog QCheck2 QCheck_alcotest Region Validate

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Builder Cpr_ir Cpr_sim Cpr_workloads Helpers List Op Printf Prog Reg Region

@@ -1,0 +1,1 @@
+test/test_liveness.ml: Array Builder Cpr_analysis Cpr_core Cpr_ir Cpr_workloads Helpers List Op Printf Prog QCheck2 QCheck_alcotest Reg Region

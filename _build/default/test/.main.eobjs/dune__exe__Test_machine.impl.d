@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cpr_core Cpr_ir Cpr_machine Helpers List Op Reg

@@ -1,0 +1,1 @@
+test/test_match.ml: Builder Cpr_analysis Cpr_core Cpr_ir Cpr_pipeline Cpr_workloads Helpers Int List Op Prog Region

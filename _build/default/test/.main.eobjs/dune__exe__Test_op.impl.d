@@ -1,0 +1,1 @@
+test/test_op.ml: Astring_like Cpr_ir Helpers List Op Reg

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Builder Cpr_ir Cpr_machine Cpr_pipeline Cpr_workloads Helpers List Op Option Printer Printf Prog Region

@@ -1,0 +1,1 @@
+test/test_pqs.ml: Cpr_analysis Cpr_ir Helpers List Pqs QCheck2 QCheck_alcotest

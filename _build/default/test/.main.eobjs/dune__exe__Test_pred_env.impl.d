@@ -1,0 +1,1 @@
+test/test_pred_env.ml: Array Builder Cpr_analysis Cpr_core Cpr_ir Fun Helpers List Op Printf

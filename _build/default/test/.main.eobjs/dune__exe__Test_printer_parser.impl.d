@@ -1,0 +1,1 @@
+test/test_printer_parser.ml: Alcotest Builder Cpr_ir Cpr_workloads Helpers List Op Option Parser_ Printer Prog QCheck2 QCheck_alcotest Region Validate

@@ -1,0 +1,1 @@
+test/test_props.ml: Cpr_core Cpr_ir Cpr_machine Cpr_pipeline Cpr_sim Cpr_workloads List Prog QCheck2 QCheck_alcotest Region String Validate

@@ -1,0 +1,1 @@
+test/test_reg.ml: Alcotest Cpr_ir Helpers List Reg

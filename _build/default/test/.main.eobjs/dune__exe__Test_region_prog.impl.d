@@ -1,0 +1,1 @@
+test/test_region_prog.ml: Alcotest Astring_like Builder Cpr_ir Cpr_pipeline Helpers List Op Prog Reg Region Stats_ir Validate

@@ -1,0 +1,1 @@
+test/test_restructure.ml: Alcotest Cpr_core Cpr_ir Helpers List Op Printf Prog Reg Region

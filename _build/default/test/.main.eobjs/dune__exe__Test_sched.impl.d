@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Cpr_analysis Cpr_ir Cpr_machine Cpr_pipeline Cpr_sched Cpr_workloads Hashtbl Helpers List Op Option Printf Prog QCheck2 QCheck_alcotest Region

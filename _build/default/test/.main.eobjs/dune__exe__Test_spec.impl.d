@@ -1,0 +1,1 @@
+test/test_spec.ml: Builder Cpr_core Cpr_ir Cpr_pipeline Cpr_sim Cpr_workloads Helpers List Op Printf Prog QCheck2 QCheck_alcotest Reg Region Validate

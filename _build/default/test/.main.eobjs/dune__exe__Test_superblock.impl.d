@@ -1,0 +1,1 @@
+test/test_superblock.ml: Alcotest Cpr_core Cpr_ir Cpr_machine Cpr_pipeline Cpr_sim Cpr_workloads Helpers List Option Printf Prog QCheck2 QCheck_alcotest Region Validate

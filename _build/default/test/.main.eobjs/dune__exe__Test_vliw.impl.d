@@ -1,0 +1,1 @@
+test/test_vliw.ml: Alcotest Builder Cpr_ir Cpr_machine Cpr_pipeline Cpr_sim Cpr_workloads Helpers List Op QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cpr_ir Cpr_pipeline Cpr_sim Cpr_workloads Helpers Int List Op Option Prog Region String Validate

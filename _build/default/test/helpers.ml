@@ -1,0 +1,88 @@
+(* Shared helpers for the test suite. *)
+
+open Cpr_ir
+module B = Builder
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* A one-region program from an op-emitting function. *)
+let single_region ?(label = "Main") ?(fallthrough = "Exit") ?live_out
+    ?noalias_bases build =
+  let ctx = B.create () in
+  let region = B.region ctx label ~fallthrough (fun e -> build ctx e) in
+  B.prog ctx ~entry:label ?live_out ?noalias_bases [ region ]
+
+let run_ok prog input =
+  try Ok (Cpr_sim.Equiv.run_on prog input) with
+  | Cpr_sim.Interp.Stuck m -> Error m
+
+let expect_equiv ?(msg = "equivalent") reference candidate inputs =
+  match Cpr_sim.Equiv.check_many reference candidate inputs with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" msg e
+
+let expect_not_equiv ?(msg = "should differ") reference candidate inputs =
+  match Cpr_sim.Equiv.check_many reference candidate inputs with
+  | Ok () -> Alcotest.fail msg
+  | Error _ -> ()
+
+(* The paper's Section 6 configuration with profile recorded. *)
+let profiled_strcpy () =
+  let prog = Cpr_workloads.Strcpy.paper_example () in
+  let inputs = Cpr_workloads.Strcpy.inputs () in
+  Cpr_pipeline.Passes.profile prog inputs;
+  (prog, inputs)
+
+let loop_of prog = Prog.find_exn prog "Loop"
+
+(* Apply the paper's Figure 7 two-block partition to an FRP-converted,
+   speculated strcpy loop; returns (prog, inputs, baseline copy). *)
+let paper_transformed_strcpy () =
+  let prog, inputs = profiled_strcpy () in
+  let baseline = Prog.copy prog in
+  let loop = loop_of prog in
+  assert (Cpr_core.Frp.convert_region prog loop);
+  let (_ : Cpr_core.Spec.stats) = Cpr_core.Spec.speculate_region prog loop in
+  let pairs =
+    List.filter_map
+      (fun (br : Op.t) ->
+        match br.Op.guard with
+        | Op.True -> None
+        | Op.If p ->
+          List.find_opt
+            (fun (op : Op.t) -> List.exists (Reg.equal p) (Op.defs op))
+            loop.Region.ops
+          |> Option.map (fun (cmp : Op.t) -> (cmp.Op.id, br.Op.id)))
+      (Region.branches loop)
+  in
+  let cmp = List.map fst pairs and brs = List.map snd pairs in
+  let nth = List.nth in
+  let guard_of id =
+    match Region.find_op loop id with Some op -> op.Op.guard | None -> Op.True
+  in
+  let blocks =
+    [
+      {
+        Cpr_core.Restructure.compare_ids = [ nth cmp 0; nth cmp 1 ];
+        branch_ids = [ nth brs 0; nth brs 1 ];
+        root_guard = guard_of (nth cmp 0);
+        taken_variation = false;
+      };
+      {
+        Cpr_core.Restructure.compare_ids = [ nth cmp 2; nth cmp 3 ];
+        branch_ids = [ nth brs 2; nth brs 3 ];
+        root_guard = guard_of (nth cmp 2);
+        taken_variation = true;
+      };
+    ]
+  in
+  let (_ : Cpr_core.Icbm.region_stats) =
+    Cpr_core.Icbm.transform_region_with_blocks prog loop blocks
+  in
+  let (_ : int) = Cpr_core.Dce.run prog in
+  Validate.check_exn prog;
+  (prog, inputs, baseline)

@@ -1,0 +1,151 @@
+open Cpr_ir
+module A = Cpr_analysis
+open Helpers
+module B = Builder
+
+(* Build a region of memory ops and return the alias analysis plus the
+   indexes of the memory ops in emission order. *)
+let analyze ?noalias_bases build =
+  let ctx = B.create () in
+  let made = ref [] in
+  let region =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e -> made := build ctx e)
+  in
+  let prog = B.prog ctx ~entry:"Main" ?noalias_bases [ region ] in
+  let ops = Array.of_list region.Region.ops in
+  let idx_of (op : Op.t) =
+    let found = ref (-1) in
+    Array.iteri (fun i (o : Op.t) -> if o.Op.id = op.Op.id then found := i) ops;
+    !found
+  in
+  (A.Alias.analyze prog region, List.map idx_of (List.rev !made))
+
+let same_base_offsets () =
+  let a, idxs =
+    analyze (fun ctx e ->
+        let base = B.gpr ctx and v = B.gpr ctx in
+        let s0 = B.store e ~base ~off:0 (Op.Imm 1) in
+        let s1 = B.store e ~base ~off:1 (Op.Imm 2) in
+        let l0 = B.load e v ~base ~off:0 in
+        [ l0; s1; s0 ])
+  in
+  match idxs with
+  | [ l0; s1; s0 ] ->
+    checkb "distinct offsets independent" true (A.Alias.independent a s0 s1);
+    checkb "same cell dependent" false (A.Alias.independent a s0 l0);
+    checkb "load vs other offset independent" true (A.Alias.independent a s1 l0)
+  | _ -> Alcotest.fail "setup"
+
+let add_imm_chain () =
+  let a, idxs =
+    analyze (fun ctx e ->
+        let base = B.gpr ctx and b1 = B.gpr ctx and b2 = B.gpr ctx in
+        let v = B.gpr ctx in
+        let (_ : Op.t) = B.addi e b1 base 4 in
+        let (_ : Op.t) = B.addi e b2 b1 (-4) in
+        let s = B.store e ~base:b1 ~off:0 (Op.Imm 1) in
+        let l = B.load e v ~base:b2 ~off:4 in
+        [ l; s ])
+  in
+  match idxs with
+  | [ l; s ] ->
+    (* b1+0 = base+4 and b2+4 = base+4: same cell *)
+    checkb "chases add-immediate chains" false (A.Alias.independent a s l)
+  | _ -> Alcotest.fail "setup"
+
+let distinct_noalias_roots () =
+  let ctx = B.create () in
+  let ra = B.gpr ctx and rb = B.gpr ctx and v = B.gpr ctx in
+  let made = ref [] in
+  let region =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let s = B.store e ~base:ra ~off:3 (Op.Imm 1) in
+        let l = B.load e v ~base:rb ~off:3 in
+        made := [ (s, l) ])
+  in
+  let prog = B.prog ctx ~entry:"Main" ~noalias_bases:[ ra; rb ] [ region ] in
+  let a = A.Alias.analyze prog region in
+  checkb "declared bases never alias" true (A.Alias.independent a 0 1);
+  (* without the declaration they must be assumed aliasing *)
+  let prog2 = B.prog ctx ~entry:"Main" [ Region.copy region ] in
+  let a2 = A.Alias.analyze prog2 (Prog.find_exn prog2 "Main") in
+  checkb "undeclared bases may alias" false (A.Alias.independent a2 0 1)
+
+let guarded_def_is_opaque () =
+  let a, idxs =
+    analyze (fun ctx e ->
+        let base = B.gpr ctx and p = B.pred ctx and v = B.gpr ctx in
+        let (_ : Op.t) = B.cmpp1 e Op.Eq Op.Un p (Op.Reg base) (Op.Imm 0) in
+        let (_ : Op.t) = B.addi e ~guard:(Op.If p) base base 8 in
+        let s = B.store e ~base ~off:0 (Op.Imm 1) in
+        let l = B.load e v ~base ~off:1 in
+        [ l; s ])
+  in
+  match idxs with
+  | [ l; s ] ->
+    (* both chase to the same guarded def: same base value, different
+       offsets -> still independent *)
+    checkb "same opaque base, different offsets" true (A.Alias.independent a s l)
+  | _ -> Alcotest.fail "setup"
+
+let segment_bases () =
+  let ctx = B.create () in
+  let table = B.gpr ctx and out = B.gpr ctx in
+  let idx1 = B.gpr ctx and v = B.gpr ctx and t = B.gpr ctx in
+  let region =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.alu e Op.And_ idx1 (Op.Reg v) (Op.Imm 63) in
+        let addr = B.gpr ctx in
+        let (_ : Op.t) = B.add e addr table idx1 in
+        let (_ : Op.t) = B.load e t ~base:addr ~off:0 in
+        let (_ : Op.t) = B.store e ~base:out ~off:2 (Op.Reg t) in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"Main" ~noalias_bases:[ table; out ] [ region ] in
+  let a = A.Alias.analyze prog region in
+  (* op indexes: 0 and, 1 add, 2 load, 3 store *)
+  checkb "indexed table load vs store to другой base" true
+    (A.Alias.independent a 2 3);
+  match A.Alias.addr_of a 2 with
+  | Some { A.Alias.base = A.Alias.Segment (root, _); _ } ->
+    checkb "segment rooted at table" true (Reg.equal root table)
+  | _ -> Alcotest.fail "expected a segment base"
+
+let strcpy_streams_independent () =
+  let prog, _ = profiled_strcpy () in
+  let loop = loop_of prog in
+  let a = A.Alias.analyze prog loop in
+  let ops = Array.of_list loop.Region.ops in
+  let stores = ref [] and loads = ref [] in
+  Array.iteri
+    (fun i (op : Op.t) ->
+      if Op.is_store op then stores := i :: !stores
+      else if Op.is_load op then loads := i :: !loads)
+    ops;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun l ->
+          checkb "A-loads never alias B-stores" true (A.Alias.independent a s l))
+        !loads)
+    !stores;
+  (* distinct stores of the unrolled loop are independent *)
+  List.iter
+    (fun s1 ->
+      List.iter
+        (fun s2 ->
+          if s1 <> s2 then
+            checkb "unrolled stores independent" true (A.Alias.independent a s1 s2))
+        !stores)
+    !stores
+
+let suite =
+  ( "alias",
+    [
+      case "same base offsets" same_base_offsets;
+      case "add-immediate chains" add_imm_chain;
+      case "noalias roots" distinct_noalias_roots;
+      case "guarded def opaque but consistent" guarded_def_is_opaque;
+      case "segment bases (indexed tables)" segment_bases;
+      case "strcpy streams" strcpy_streams_independent;
+    ] )

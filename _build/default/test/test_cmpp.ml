@@ -1,0 +1,164 @@
+(* Table 1 of the paper, exhaustively, at two levels: the pure
+   [cmpp_dest_update] semantics and the interpreter's execution of cmpp
+   operations. *)
+
+open Cpr_ir
+open Helpers
+module B = Builder
+
+(* (action, guard, cond) -> expected destination effect *)
+let table1 =
+  [
+    (Op.Un, false, false, Some false);
+    (Op.Un, false, true, Some false);
+    (Op.Un, true, false, Some false);
+    (Op.Un, true, true, Some true);
+    (Op.Uc, false, false, Some false);
+    (Op.Uc, false, true, Some false);
+    (Op.Uc, true, false, Some true);
+    (Op.Uc, true, true, Some false);
+    (Op.On, false, false, None);
+    (Op.On, false, true, None);
+    (Op.On, true, false, None);
+    (Op.On, true, true, Some true);
+    (Op.Oc, false, false, None);
+    (Op.Oc, false, true, None);
+    (Op.Oc, true, false, Some true);
+    (Op.Oc, true, true, None);
+    (Op.An, false, false, None);
+    (Op.An, false, true, None);
+    (Op.An, true, false, Some false);
+    (Op.An, true, true, None);
+    (Op.Ac, false, false, None);
+    (Op.Ac, false, true, None);
+    (Op.Ac, true, false, None);
+    (Op.Ac, true, true, Some false);
+  ]
+
+let pure_semantics () =
+  List.iter
+    (fun (action, guard, cond, expected) ->
+      check
+        Alcotest.(option bool)
+        (Printf.sprintf "action=%s guard=%b cond=%b"
+           (match action with
+           | Op.Un -> "un" | Op.Uc -> "uc" | Op.On -> "on"
+           | Op.Oc -> "oc" | Op.An -> "an" | Op.Ac -> "ac")
+           guard cond)
+        expected
+        (Op.cmpp_dest_update action ~guard ~cond))
+    table1
+
+(* Execute a single cmpp in the interpreter with every combination of
+   guard value, condition outcome and initial destination value, and
+   check the destination afterwards. *)
+let interp_semantics () =
+  List.iter
+    (fun (action, guard, cond, expected) ->
+      List.iter
+        (fun initial ->
+          let ctx = B.create () in
+          let g = B.pred ctx and d = B.pred ctx and v = B.gpr ctx in
+          let region =
+            B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+                let (_ : Op.t) =
+                  B.cmpp1 e Op.Eq action ~guard:(Op.If g) d (Op.Reg v)
+                    (Op.Imm 1)
+                in
+                ())
+          in
+          let prog = B.prog ctx ~entry:"Main" [ region ] in
+          let input =
+            {
+              Cpr_sim.Equiv.memory = [];
+              gprs = [ (v, if cond then 1 else 0) ];
+              preds = [ (g, guard); (d, initial) ];
+            }
+          in
+          let out = Cpr_sim.Equiv.run_on prog input in
+          let final = Cpr_sim.State.read_pred out.Cpr_sim.Interp.state d in
+          let want = match expected with Some v -> v | None -> initial in
+          checkb
+            (Printf.sprintf "interp guard=%b cond=%b init=%b" guard cond
+               initial)
+            want final)
+        [ false; true ])
+    table1
+
+(* The two destinations of one cmpp are written from the same condition
+   evaluation: un/uc destinations are complementary whenever the guard is
+   true and both zero when it is false. *)
+let dual_dest_complementary () =
+  List.iter
+    (fun (guard, v) ->
+      let ctx = B.create () in
+      let g = B.pred ctx and pt = B.pred ctx and pf = B.pred ctx in
+      let x = B.gpr ctx in
+      let region =
+        B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+            let (_ : Op.t) =
+              B.cmpp2 e Op.Lt ~guard:(Op.If g) (Op.Un, pt) (Op.Uc, pf)
+                (Op.Reg x) (Op.Imm 5)
+            in
+            ())
+      in
+      let prog = B.prog ctx ~entry:"Main" [ region ] in
+      let input =
+        { Cpr_sim.Equiv.memory = []; gprs = [ (x, v) ]; preds = [ (g, guard) ] }
+      in
+      let out = Cpr_sim.Equiv.run_on prog input in
+      let t = Cpr_sim.State.read_pred out.Cpr_sim.Interp.state pt in
+      let f = Cpr_sim.State.read_pred out.Cpr_sim.Interp.state pf in
+      if guard then checkb "complementary" true (t <> f)
+      else checkb "both cleared" true ((not t) && not f))
+    [ (true, 3); (true, 7); (false, 3); (false, 7) ]
+
+(* Wired-or accumulation across several compares computes a disjunction
+   regardless of which compare fires; wired-and computes a conjunction. *)
+let accumulation () =
+  let eval values =
+    let ctx = B.create () in
+    let p_or = B.pred ctx and p_and = B.pred ctx in
+    let regs = B.gprs ctx 3 in
+    let region =
+      B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+          let (_ : Op.t) = B.pred_init e [ (p_or, false); (p_and, true) ] in
+          Array.iter
+            (fun r ->
+              let (_ : Op.t) =
+                B.cmpp2 e Op.Eq (Op.Ac, p_and) (Op.On, p_or) (Op.Reg r)
+                  (Op.Imm 0)
+              in
+              ())
+            regs;
+          ())
+    in
+    let prog = B.prog ctx ~entry:"Main" [ region ] in
+    let input =
+      {
+        Cpr_sim.Equiv.memory = [];
+        gprs = List.mapi (fun i r -> (r, List.nth values i)) (Array.to_list regs);
+        preds = [];
+      }
+    in
+    let out = Cpr_sim.Equiv.run_on prog input in
+    ( Cpr_sim.State.read_pred out.Cpr_sim.Interp.state p_or,
+      Cpr_sim.State.read_pred out.Cpr_sim.Interp.state p_and )
+  in
+  List.iter
+    (fun values ->
+      let any_zero = List.exists (fun v -> v = 0) values in
+      let got_or, got_and = eval values in
+      checkb "wired-or accumulates the conditions" any_zero got_or;
+      (* AC accumulates complemented conditions: true iff no element fired *)
+      checkb "wired-and(complement) = none fired" (not any_zero) got_and)
+    [ [ 0; 0; 0 ]; [ 1; 0; 0 ]; [ 0; 2; 3 ]; [ 1; 2; 3 ]; [ 1; 0; 3 ] ]
+
+let suite =
+  ( "cmpp (Table 1)",
+    [
+      case "pure semantics, all 24 rows" pure_semantics;
+      case "interpreter semantics, all rows x initial values" interp_semantics;
+      case "un/uc duals are complementary" dual_dest_complementary;
+      case "wired-or/and accumulation" accumulation;
+    ] )

@@ -1,0 +1,125 @@
+open Cpr_ir
+module A = Cpr_analysis
+open Helpers
+module B = Builder
+
+let strcpy_structure () =
+  let prog, inputs = profiled_strcpy () in
+  let baseline = Prog.copy prog in
+  let loop = loop_of prog in
+  checkb "converts" true (Cpr_core.Frp.convert_region prog loop);
+  (* every controlling compare gained a UC fall-through destination *)
+  let cmpps =
+    List.filter
+      (fun (op : Op.t) ->
+        match op.Op.opcode with Op.Cmpp _ -> true | _ -> false)
+      loop.Region.ops
+  in
+  checki "four compares" 4 (List.length cmpps);
+  List.iteri
+    (fun i (op : Op.t) ->
+      match op.Op.opcode with
+      | Op.Cmpp (_, Op.Un, Some Op.Uc) -> ()
+      | Op.Cmpp (_, Op.Un, None) when i = 3 ->
+        Alcotest.fail "final compare should also gain a UC dest"
+      | _ -> Alcotest.failf "compare %d not un.uc" i)
+    cmpps;
+  (* ops between branches are now guarded by block FRPs *)
+  let guarded =
+    List.filter (fun (op : Op.t) -> op.Op.guard <> Op.True) loop.Region.ops
+  in
+  checkb "most ops guarded" true (List.length guarded > 15);
+  (* semantics preserved *)
+  expect_equiv baseline prog inputs;
+  Validate.check_exn prog
+
+let first_block_stays_true () =
+  let prog, _ = profiled_strcpy () in
+  let loop = loop_of prog in
+  let first_branch_idx =
+    let rec go i = function
+      | [] -> i
+      | (op : Op.t) :: rest -> if Op.is_branch op then i else go (i + 1) rest
+    in
+    go 0 loop.Region.ops
+  in
+  assert (Cpr_core.Frp.convert_region prog loop);
+  List.iteri
+    (fun i (op : Op.t) ->
+      if i < first_branch_idx && not (Op.is_cmpp op) then
+        checkb "entry block unguarded" true (op.Op.guard = Op.True))
+    loop.Region.ops
+
+let unconditional_branch_rejected () =
+  let ctx = B.create () in
+  let region =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.branch_to e "Exit" in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"Main" [ region ] in
+  let snapshot = region.Region.ops in
+  checkb "not convertible" false (Cpr_core.Frp.convert_region prog region);
+  checkb "untouched" true (region.Region.ops == snapshot)
+
+let guard_defined_elsewhere_rejected () =
+  (* a branch guard that is live into the region has no controlling
+     compare to convert *)
+  let ctx = B.create () in
+  let p = B.pred ctx in
+  let region =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Exit" in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"Main" [ region ] in
+  checkb "not convertible" false (Cpr_core.Frp.convert_region prog region)
+
+let branches_become_mutually_exclusive () =
+  let prog, _ = profiled_strcpy () in
+  let loop = loop_of prog in
+  assert (Cpr_core.Frp.convert_region prog loop);
+  let env = A.Pred_env.analyze loop in
+  let ops = A.Pred_env.ops env in
+  let idxs =
+    List.filter
+      (fun i -> Op.is_branch ops.(i))
+      (List.init (Array.length ops) Fun.id)
+  in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          if i < j then
+            checkb "disjoint" true
+              (A.Pqs.disjoint (A.Pred_env.taken_expr env i)
+                 (A.Pred_env.taken_expr env j)))
+        idxs)
+    idxs
+
+let convert_counts_regions () =
+  let prog, _ = profiled_strcpy () in
+  checki "both Start and Loop convert" 2 (Cpr_core.Frp.convert prog)
+
+let prop_frp_preserves_semantics =
+  QCheck2.Test.make ~name:"FRP conversion preserves semantics" ~count:60
+    QCheck2.Gen.(int_range 0 600)
+    (fun seed ->
+      let prog = Cpr_workloads.Gen.prog_of_seed seed in
+      let inputs = Cpr_workloads.Gen.inputs_of_seed seed in
+      let converted = Prog.copy prog in
+      let (_ : int) = Cpr_core.Frp.convert converted in
+      Validate.check converted = []
+      && Cpr_sim.Equiv.check_many prog converted inputs = Ok ())
+
+let suite =
+  ( "frp conversion",
+    [
+      case "strcpy structure (Fig 6c)" strcpy_structure;
+      case "entry block unguarded" first_block_stays_true;
+      case "unconditional branch rejected" unconditional_branch_rejected;
+      case "external guard rejected" guard_defined_elsewhere_rejected;
+      case "branches mutually exclusive" branches_become_mutually_exclusive;
+      case "convert counts" convert_counts_regions;
+      QCheck_alcotest.to_alcotest prop_frp_preserves_semantics;
+    ] )

@@ -1,0 +1,120 @@
+open Cpr_ir
+module A = Cpr_analysis
+module P = Cpr_pipeline
+module W = Cpr_workloads
+open Helpers
+
+let frp_converted name =
+  let w = Option.get (W.Registry.find name) in
+  let prog = w.W.Workload.build () in
+  let inputs = w.W.Workload.inputs () in
+  P.Passes.profile prog inputs;
+  let baseline = Prog.copy prog in
+  let loop = Prog.find_exn prog "Loop" in
+  assert (Cpr_core.Frp.convert_region prog loop);
+  let (_ : Cpr_core.Spec.stats) = Cpr_core.Spec.speculate_region prog loop in
+  (prog, loop, baseline, inputs)
+
+let preserves_semantics () =
+  let prog, loop, baseline, inputs = frp_converted "grep" in
+  checkb "transforms" true (Cpr_core.Fullcpr.transform_region prog loop);
+  Validate.check_exn prog;
+  expect_equiv baseline prog inputs
+
+let quadratic_compare_growth () =
+  let prog, loop, _, _ = frp_converted "grep" in
+  let count_cmpps () =
+    List.length (List.filter Op.is_cmpp loop.Region.ops)
+  in
+  let n = List.length (Region.branches loop) in
+  let before = count_cmpps () in
+  assert (Cpr_core.Fullcpr.transform_region prog loop);
+  let added_dests = n * (n + 1) / 2 in
+  (* columns are packed two destinations per compare where senses agree *)
+  checkb
+    (Printf.sprintf "compare ops grow quadratically (%d -> %d for %d branches)"
+       before (count_cmpps ()) n)
+    true
+    (count_cmpps () - before >= added_dests / 2)
+
+let branches_become_disjoint_and_parallel () =
+  let prog, loop, _, _ = frp_converted "grep" in
+  assert (Cpr_core.Fullcpr.transform_region prog loop);
+  let env = A.Pred_env.analyze loop in
+  let ops = A.Pred_env.ops env in
+  let idxs =
+    List.filter (fun i -> Op.is_branch ops.(i))
+      (List.init (Array.length ops) Fun.id)
+  in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          if i < j then
+            checkb "disjoint" true
+              (A.Pqs.disjoint (A.Pred_env.taken_expr env i)
+                 (A.Pred_env.taken_expr env j)))
+        idxs)
+    idxs;
+  (* the dependence graph carries no branch-to-branch control chain *)
+  let liveness = A.Liveness.analyze prog in
+  let g = A.Depgraph.build Cpr_machine.Descr.wide prog liveness loop in
+  let chained =
+    List.exists
+      (fun (e : A.Depgraph.edge) ->
+        (match e.A.Depgraph.kind with A.Depgraph.Ctrl -> true | _ -> false)
+        && Op.is_branch (A.Depgraph.op g e.A.Depgraph.src)
+        && Op.is_branch (A.Depgraph.op g e.A.Depgraph.dst))
+      (A.Depgraph.edges g)
+  in
+  checkb "no branch chain" false chained
+
+let tradeoff_against_icbm () =
+  (* the paper's motivation for ICBM: full CPR's redundant compares cost
+     sequential-machine cycles; ICBM reduces them *)
+  let w = Option.get (W.Registry.find "grep") in
+  let inputs = w.W.Workload.inputs () in
+  let icbm = P.Passes.height_reduce (w.W.Workload.build ()) inputs in
+  let full_prog = w.W.Workload.build () in
+  P.Passes.profile full_prog inputs;
+  let loop = Prog.find_exn full_prog "Loop" in
+  assert (Cpr_core.Frp.convert_region full_prog loop);
+  let (_ : Cpr_core.Spec.stats) =
+    Cpr_core.Spec.speculate_region full_prog loop
+  in
+  assert (Cpr_core.Fullcpr.transform_region full_prog loop);
+  P.Passes.profile full_prog inputs;
+  P.Passes.profile icbm.P.Passes.prog inputs;
+  let seq = Cpr_machine.Descr.sequential in
+  checkb "ICBM beats full CPR on the sequential machine" true
+    (P.Perf.estimate seq icbm.P.Passes.prog < P.Perf.estimate seq full_prog)
+
+let rejects_non_frp_shape () =
+  (* the raw (unconverted) superblock lacks the UC chain *)
+  let w = Option.get (W.Registry.find "grep") in
+  let prog = w.W.Workload.build () in
+  let loop = Prog.find_exn prog "Loop" in
+  checkb "refused" false (Cpr_core.Fullcpr.transform_region prog loop)
+
+let prop_fullcpr_safe =
+  QCheck2.Test.make ~name:"full CPR preserves semantics" ~count:50
+    QCheck2.Gen.(int_range 0 500)
+    (fun seed ->
+      let prog = W.Gen.prog_of_seed seed in
+      let inputs = W.Gen.inputs_of_seed seed in
+      let t = Prog.copy prog in
+      let (_ : int) = Cpr_core.Frp.convert t in
+      let (_ : Cpr_core.Spec.stats) = Cpr_core.Spec.speculate t in
+      let (_ : int) = Cpr_core.Fullcpr.transform t in
+      Validate.check t = [] && Cpr_sim.Equiv.check_many prog t inputs = Ok ())
+
+let suite =
+  ( "full CPR (redundant variant)",
+    [
+      case "preserves semantics" preserves_semantics;
+      case "quadratic compare growth" quadratic_compare_growth;
+      case "branches disjoint and unchained" branches_become_disjoint_and_parallel;
+      case "ICBM wins on narrow machines" tradeoff_against_icbm;
+      case "rejects non-FRP shape" rejects_non_frp_shape;
+      QCheck_alcotest.to_alcotest prop_fullcpr_safe;
+    ] )

@@ -1,0 +1,168 @@
+open Cpr_ir
+module W = Cpr_workloads
+module P = Cpr_pipeline
+open Helpers
+module B = Builder
+
+let full_pipeline_on name =
+  let w = Option.get (W.Registry.find name) in
+  let prog = w.W.Workload.build () in
+  let inputs = w.W.Workload.inputs () in
+  let base = P.Passes.baseline prog inputs in
+  let red = P.Passes.height_reduce prog inputs in
+  (base, red, inputs)
+
+let workload_equivalence () =
+  List.iter
+    (fun name ->
+      let base, red, inputs = full_pipeline_on name in
+      expect_equiv ~msg:name base.P.Passes.prog red.P.Passes.prog inputs;
+      Validate.check_exn red.P.Passes.prog)
+    [ "strcpy"; "grep"; "cmp"; "wc"; "cccp"; "lex"; "023.eqntott" ]
+
+let biased_workloads_transform () =
+  List.iter
+    (fun name ->
+      let _, red, _ = full_pipeline_on name in
+      match red.P.Passes.icbm with
+      | Some s ->
+        checkb (name ^ " transforms") true
+          (s.Cpr_core.Icbm.blocks_transformed > 0)
+      | None -> Alcotest.fail "no stats")
+    [ "strcpy"; "grep"; "cmp"; "cccp" ]
+
+let unbiased_code_left_alone () =
+  let base, red, _ = full_pipeline_on "099.go" in
+  (match red.P.Passes.icbm with
+  | Some s -> checki "go: no blocks transform" 0 s.Cpr_core.Icbm.blocks_transformed
+  | None -> Alcotest.fail "no stats");
+  (* "where control CPR has not been applied, the performance of the
+     unoptimized code is measured": the program is byte-identical *)
+  checki "identical static code" (Prog.static_op_count base.P.Passes.prog)
+    (Prog.static_op_count red.P.Passes.prog);
+  List.iter
+    (fun m ->
+      checki
+        ("go cycles unchanged on " ^ m.Cpr_machine.Descr.name)
+        (P.Perf.estimate m base.P.Passes.prog)
+        (P.Perf.estimate m red.P.Passes.prog))
+    Cpr_machine.Descr.all
+
+let branch_count_reduction () =
+  let base, red, inputs = full_pipeline_on "cmp" in
+  P.Passes.profile base.P.Passes.prog inputs;
+  P.Passes.profile red.P.Passes.prog inputs;
+  let sb = Stats_ir.of_prog base.P.Passes.prog in
+  let sr = Stats_ir.of_prog red.P.Passes.prog in
+  let _, _, d_tot, d_br = Stats_ir.ratio sr sb in
+  checkb "dynamic branches collapse (paper cmp: 0.13)" true (d_br < 0.4);
+  checkb "dynamic ops do not grow (irredundancy)" true (d_tot <= 1.0)
+
+(* The hazard pre-check: a block whose compare source is recomputed by a
+   guarded op between the branches (an anti-dependence from the moved
+   compare region to a staying op) must be demoted rather than
+   miscompiled. *)
+let hazard_demotion_is_safe () =
+  let ctx = B.create () in
+  let x = B.gpr ctx and acc = B.gpr ctx in
+  let p1 = B.pred ctx and p2 = B.pred ctx in
+  let base = B.gpr ctx in
+  let region =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.cmpp1 e Op.Eq Op.Un p1 (Op.Reg x) (Op.Imm 0) in
+        let (_ : Op.t) = B.branch_to e ~guard:(Op.If p1) "Exit" in
+        (* x is recomputed between the branches; the second compare reads
+           the OLD x off-trace if the compare moves *)
+        let (_ : Op.t) = B.addi e x x 1 in
+        let (_ : Op.t) = B.store e ~base ~off:0 (Op.Reg acc) in
+        let (_ : Op.t) = B.cmpp1 e Op.Eq Op.Un p2 (Op.Reg x) (Op.Imm 5) in
+        let (_ : Op.t) = B.branch_to e ~guard:(Op.If p2) "Exit" in
+        ())
+  in
+  let prog =
+    B.prog ctx ~entry:"Main" ~live_out:[ x ] ~noalias_bases:[ base ] [ region ]
+  in
+  let inputs =
+    List.init 6 (fun i ->
+        { Cpr_sim.Equiv.memory = []; gprs = [ (x, i) ]; preds = [] })
+  in
+  let b = P.Passes.baseline prog inputs in
+  let r = P.Passes.height_reduce prog inputs in
+  expect_equiv b.P.Passes.prog r.P.Passes.prog inputs
+
+let dce_drops_dead_predicates () =
+  let prog, _, _ = paper_transformed_strcpy () in
+  (* after DCE no compare computes a predicate nobody reads (the paper
+     removes op 29 and the second destination of op 13) *)
+  let used =
+    List.concat_map
+      (fun (r : Region.t) -> List.concat_map Op.uses r.Region.ops)
+      (Prog.regions prog)
+    |> Reg.Set.of_list
+  in
+  List.iter
+    (fun (r : Region.t) ->
+      List.iter
+        (fun (op : Op.t) ->
+          match op.Op.opcode with
+          | Op.Cmpp (_, Op.Un, None) | Op.Cmpp (_, Op.Uc, None) ->
+            List.iter
+              (fun d ->
+                checkb
+                  (Printf.sprintf "op %d single un/uc dest %s is used" op.Op.id
+                     (Reg.to_string d))
+                  true (Reg.Set.mem d used))
+              op.Op.dests
+          | _ -> ())
+        r.Region.ops)
+    (Prog.regions prog)
+
+let dce_keeps_stores_and_branches () =
+  let ctx = B.create () in
+  let base = B.gpr ctx and p = B.pred ctx and dead = B.gpr ctx in
+  let region =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.movi e dead 42 in
+        let (_ : Op.t) = B.store e ~base ~off:0 (Op.Imm 1) in
+        let (_ : Op.t) = B.cmpp1 e Op.Eq Op.Un p (Op.Imm 0) (Op.Imm 0) in
+        let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Exit" in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"Main" [ region ] in
+  let removed = Cpr_core.Dce.run prog in
+  checki "only the dead mov removed" 1 removed;
+  checkb "store survives" true
+    (List.exists Op.is_store (Prog.find_exn prog "Main").Region.ops);
+  checkb "branch survives" true
+    (List.exists Op.is_branch (Prog.find_exn prog "Main").Region.ops)
+
+let cold_regions_untouched () =
+  let w = Option.get (W.Registry.find "126.gcc") in
+  let prog = w.W.Workload.build () in
+  let inputs = w.W.Workload.inputs () in
+  let red = P.Passes.height_reduce prog inputs in
+  (* cold regions (never entered) must be byte-identical to the input *)
+  List.iter
+    (fun (r : Region.t) ->
+      if
+        String.length r.Region.label >= 4
+        && String.sub r.Region.label 0 4 = "Cold"
+      then
+        checki
+          (r.Region.label ^ " untouched")
+          (Region.static_op_count (Prog.find_exn prog r.Region.label))
+          (Region.static_op_count r))
+    (Prog.regions red.P.Passes.prog)
+
+let suite =
+  ( "icbm pipeline",
+    [
+      case "workload equivalence" workload_equivalence;
+      case "biased workloads transform" biased_workloads_transform;
+      case "unbiased code left alone" unbiased_code_left_alone;
+      case "branch count reduction" branch_count_reduction;
+      case "hazard demotion is safe" hazard_demotion_is_safe;
+      case "dce drops dead predicates" dce_drops_dead_predicates;
+      case "dce keeps effects" dce_keeps_stores_and_branches;
+      case "cold regions untouched" cold_regions_untouched;
+    ] )

@@ -1,0 +1,129 @@
+open Cpr_ir
+module P = Cpr_pipeline
+module W = Cpr_workloads
+open Helpers
+module B = Builder
+
+(* main region: load x; if x==0 jump to a stub that stores a marker and
+   rejoins at Exit; otherwise store the value; both paths end at Exit. *)
+let diamond () =
+  let ctx = B.create () in
+  let base = B.gpr ctx and x = B.gpr ctx and p = B.pred ctx in
+  let main =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.load e x ~base ~off:0 in
+        let (_ : Op.t) = B.cmpp1 e Op.Eq Op.Un p (Op.Reg x) (Op.Imm 0) in
+        let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Stub" in
+        let (_ : Op.t) = B.store e ~base ~off:1 (Op.Reg x) in
+        ())
+  in
+  let stub =
+    B.region ctx "Stub" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.store e ~base ~off:2 (Op.Imm 99) in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"Main" ~noalias_bases:[ base ] [ main; stub ] in
+  let inputs =
+    List.map
+      (fun v -> Cpr_sim.Equiv.input_of_memory [ (0, v) ])
+      [ 0; 1; 5 ]
+  in
+  (prog, inputs)
+
+let converts_the_diamond () =
+  let prog, inputs = diamond () in
+  let reference = Prog.copy prog in
+  let main = Prog.find_exn prog "Main" in
+  let s = Cpr_core.Ifconv.convert_region ~only_unbiased:false prog main in
+  checki "one branch converted" 1 s.Cpr_core.Ifconv.converted;
+  checki "one op inlined" 1 s.Cpr_core.Ifconv.inlined_ops;
+  checki "branch gone" 0 (List.length (Region.branches main));
+  Validate.check_exn prog;
+  expect_equiv reference prog inputs;
+  (* both stores are now predicated with complementary conditions *)
+  let stores = List.filter Op.is_store main.Region.ops in
+  checki "two stores" 2 (List.length stores);
+  List.iter
+    (fun (op : Op.t) -> checkb "predicated" true (op.Op.guard <> Op.True))
+    stores
+
+let unbiased_filter () =
+  let prog, inputs = diamond () in
+  (* profile with heavily biased data: the branch is ~never taken *)
+  P.Passes.profile prog
+    (List.map (fun v -> Cpr_sim.Equiv.input_of_memory [ (0, v) ])
+       [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]);
+  let main = Prog.find_exn prog "Main" in
+  let s = Cpr_core.Ifconv.convert_region ~only_unbiased:true prog main in
+  checki "biased branch left for control CPR" 0 s.Cpr_core.Ifconv.converted;
+  ignore inputs
+
+let rejects_non_stubs () =
+  (* stub with a branch inside is not convertible *)
+  let ctx = B.create () in
+  let base = B.gpr ctx and x = B.gpr ctx and p = B.pred ctx and q = B.pred ctx in
+  let main =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.cmpp1 e Op.Eq Op.Un p (Op.Reg x) (Op.Imm 0) in
+        let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Busy" in
+        let (_ : Op.t) = B.store e ~base ~off:1 (Op.Reg x) in
+        ())
+  in
+  let busy =
+    B.region ctx "Busy" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.cmpp1 e Op.Ne Op.Un q (Op.Reg x) (Op.Imm 3) in
+        let (_ : Op.t) = B.branch_to e ~guard:(Op.If q) "Exit" in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"Main" [ main; busy ] in
+  let s =
+    Cpr_core.Ifconv.convert_region ~only_unbiased:false prog
+      (Prog.find_exn prog "Main")
+  in
+  checki "not converted" 0 s.Cpr_core.Ifconv.converted
+
+let composes_with_icbm () =
+  let prog, inputs = diamond () in
+  let reference = Prog.copy prog in
+  let (_ : Cpr_core.Ifconv.stats) =
+    Cpr_core.Ifconv.convert ~only_unbiased:false prog
+  in
+  let red = P.Passes.height_reduce prog inputs in
+  expect_equiv reference red.P.Passes.prog inputs
+
+let prop_ifconv_safe =
+  QCheck2.Test.make ~name:"if-conversion preserves semantics" ~count:60
+    QCheck2.Gen.(int_range 0 600)
+    (fun seed ->
+      let prog = W.Gen.prog_of_seed seed in
+      let inputs = W.Gen.inputs_of_seed seed in
+      let t = Prog.copy prog in
+      let (_ : Cpr_core.Ifconv.stats) =
+        Cpr_core.Ifconv.convert ~only_unbiased:false t
+      in
+      Validate.check t = [] && Cpr_sim.Equiv.check_many prog t inputs = Ok ())
+
+let prop_ifconv_then_pipeline =
+  QCheck2.Test.make ~name:"if-conversion composes with the full pipeline"
+    ~count:40
+    QCheck2.Gen.(int_range 0 600)
+    (fun seed ->
+      let prog = W.Gen.prog_of_seed seed in
+      let inputs = W.Gen.inputs_of_seed seed in
+      let t = Prog.copy prog in
+      let (_ : Cpr_core.Ifconv.stats) =
+        Cpr_core.Ifconv.convert ~only_unbiased:false t
+      in
+      let red = P.Passes.height_reduce t inputs in
+      Cpr_sim.Equiv.check_many prog red.P.Passes.prog inputs = Ok ())
+
+let suite =
+  ( "if-conversion",
+    [
+      case "converts a terminal diamond" converts_the_diamond;
+      case "biased branches left alone" unbiased_filter;
+      case "rejects non-stubs" rejects_non_stubs;
+      case "composes with ICBM" composes_with_icbm;
+      QCheck_alcotest.to_alcotest prop_ifconv_safe;
+      QCheck_alcotest.to_alcotest prop_ifconv_then_pipeline;
+    ] )

@@ -1,0 +1,169 @@
+open Cpr_ir
+module A = Cpr_analysis
+open Helpers
+module B = Builder
+
+let straight_line () =
+  let ctx = B.create () in
+  let a = B.gpr ctx and b = B.gpr ctx and out = B.gpr ctx in
+  let region =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.add e out a b in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"Main" ~live_out:[ out ] [ region ] in
+  let l = A.Liveness.analyze prog in
+  let live = A.Liveness.live_in l "Main" in
+  checkb "sources live in" true (Reg.Set.mem a live && Reg.Set.mem b live);
+  checkb "dest not live in" false (Reg.Set.mem out live)
+
+let guarded_defs_do_not_kill () =
+  let ctx = B.create () in
+  let p = B.pred ctx and r = B.gpr ctx in
+  let region =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.movi e ~guard:(Op.If p) r 1 in
+        let (_ : Op.t) = B.add e r r r in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"Main" [ region ] in
+  let l = A.Liveness.analyze prog in
+  checkb "r live in through guarded def" true
+    (Reg.Set.mem r (A.Liveness.live_in l "Main"))
+
+let unconditional_cmpp_dests_kill () =
+  (* un/uc destinations write even when the guard is false, so they kill *)
+  let ctx = B.create () in
+  let g = B.pred ctx and p = B.pred ctx and r = B.gpr ctx in
+  let region =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) =
+          B.cmpp1 e Op.Eq Op.Un ~guard:(Op.If g) p (Op.Reg r) (Op.Imm 0)
+        in
+        let (_ : Op.t) = B.movi e ~guard:(Op.If p) r 1 in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"Main" [ region ] in
+  let l = A.Liveness.analyze prog in
+  checkb "p not live in (killed by UN dest)" false
+    (Reg.Set.mem p (A.Liveness.live_in l "Main"))
+
+let loop_carried () =
+  let ctx = B.create () in
+  let acc = B.gpr ctx and cnt = B.gpr ctx and p = B.pred ctx in
+  let region =
+    B.region ctx "Loop" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.addi e acc acc 1 in
+        let (_ : Op.t) = B.addi e cnt cnt (-1) in
+        let (_ : Op.t) = B.cmpp1 e Op.Gt Op.Un p (Op.Reg cnt) (Op.Imm 0) in
+        let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Loop" in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"Loop" ~live_out:[ acc ] [ region ] in
+  let l = A.Liveness.analyze prog in
+  let live = A.Liveness.live_in l "Loop" in
+  checkb "accumulator live around the loop" true (Reg.Set.mem acc live);
+  checkb "counter live around the loop" true (Reg.Set.mem cnt live)
+
+let branch_targets_contribute () =
+  let ctx = B.create () in
+  let p = B.pred ctx and r = B.gpr ctx and s = B.gpr ctx in
+  let main =
+    B.region ctx "Main" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.cmpp1 e Op.Eq Op.Un p (Op.Reg s) (Op.Imm 0) in
+        let (_ : Op.t) = B.branch_to e ~guard:(Op.If p) "Side" in
+        let (_ : Op.t) = B.movi e r 0 in
+        ())
+  in
+  let side =
+    B.region ctx "Side" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.addi e r r 1 in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"Main" [ main; side ] in
+  let l = A.Liveness.analyze prog in
+  checkb "r live at Side" true (Reg.Set.mem r (A.Liveness.live_in l "Side"));
+  (* r is live into Main only because the branch to Side may take before
+     Main's own unconditional def *)
+  checkb "r live into Main via side exit" true
+    (Reg.Set.mem r (A.Liveness.live_in l "Main"));
+  let br = List.hd (Region.branches main) in
+  checkb "live_at_target" true
+    (Reg.Set.mem r (A.Liveness.live_at_target l main br))
+
+let exit_boundary_is_program_live_out () =
+  let ctx = B.create () in
+  let r = B.gpr ctx in
+  let region = B.region ctx "Main" ~fallthrough:"Exit" (fun _ -> ()) in
+  let prog = B.prog ctx ~entry:"Main" ~live_out:[ r ] [ region ] in
+  let l = A.Liveness.analyze prog in
+  checkb "live_out at exit label" true (Reg.Set.mem r (A.Liveness.live_in l "Exit"));
+  checkb "flows through empty region" true
+    (Reg.Set.mem r (A.Liveness.live_in l "Main"))
+
+(* The promotion-enabling property: in FRP-converted strcpy every
+   non-store op's destination liveness implies its guard. *)
+let live_expr_enables_promotion () =
+  let prog, _ = profiled_strcpy () in
+  let loop = loop_of prog in
+  assert (Cpr_core.Frp.convert_region prog loop);
+  let l = A.Liveness.analyze prog in
+  let env = A.Pred_env.analyze loop in
+  let ops = A.Pred_env.ops env in
+  Array.iteri
+    (fun idx (op : Op.t) ->
+      match (op.Op.guard, op.Op.opcode) with
+      | Op.If _, (Op.Alu _ | Op.Load | Op.Pbr) ->
+        let ge = A.Pred_env.guard_expr env idx in
+        List.iter
+          (fun d ->
+            (* r1/r2-style cursors fail this when live-out; strcpy's
+               live_out is empty so everything promotes *)
+            let le = A.Liveness.live_expr_after l env loop idx d in
+            checkb
+              (Printf.sprintf "op %d dest %s promotable" op.Op.id
+                 (Reg.to_string d))
+              true (A.Pqs.implies le ge))
+          (Op.defs op)
+      | _ -> ())
+    ops
+
+(* Structural soundness on random programs: registers read before any
+   write during a real execution must be in live_in of the entry. *)
+let prop_live_in_covers_dynamic_reads =
+  QCheck2.Test.make ~name:"live_in(entry) covers use-before-def of entry region"
+    ~count:60
+    QCheck2.Gen.(int_range 0 500)
+    (fun seed ->
+      let prog = Cpr_workloads.Gen.prog_of_seed seed in
+      let l = A.Liveness.analyze prog in
+      let entry = Prog.find_exn prog prog.Prog.entry in
+      let live = A.Liveness.live_in l prog.Prog.entry in
+      (* scan entry region: any reg used before an unconditional def *)
+      let defined = ref Reg.Set.empty in
+      List.for_all
+        (fun (op : Op.t) ->
+          let ok =
+            List.for_all
+              (fun u -> Reg.Set.mem u !defined || Reg.Set.mem u live)
+              (Op.uses op)
+          in
+          if op.Op.guard = Op.True then
+            List.iter
+              (fun d -> defined := Reg.Set.add d !defined)
+              (Op.defs op);
+          ok)
+        entry.Region.ops)
+
+let suite =
+  ( "liveness",
+    [
+      case "straight line" straight_line;
+      case "guarded defs do not kill" guarded_defs_do_not_kill;
+      case "un/uc dests kill" unconditional_cmpp_dests_kill;
+      case "loop carried" loop_carried;
+      case "branch targets contribute" branch_targets_contribute;
+      case "exit boundary" exit_boundary_is_program_live_out;
+      case "live_expr enables strcpy promotion" live_expr_enables_promotion;
+      QCheck_alcotest.to_alcotest prop_live_in_covers_dynamic_reads;
+    ] )

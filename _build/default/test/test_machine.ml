@@ -1,0 +1,84 @@
+open Cpr_ir
+module M = Cpr_machine.Descr
+module R = Cpr_machine.Resource
+open Helpers
+
+let mk opcode dests srcs = Op.make ~id:1 opcode dests srcs
+
+let paper_latencies () =
+  let check_lat name op expected =
+    checki name expected (M.latency_of M.medium op)
+  in
+  let g = Reg.gpr 1 in
+  check_lat "simple integer 1" (mk (Op.Alu Op.Add) [ g ] [ Op.Reg g; Op.Imm 1 ]) 1;
+  check_lat "integer multiply 3" (mk (Op.Alu Op.Mul) [ g ] [ Op.Reg g; Op.Imm 1 ]) 3;
+  check_lat "divide 8" (mk (Op.Alu Op.Div) [ g ] [ Op.Reg g; Op.Imm 1 ]) 8;
+  check_lat "simple fp 3" (mk (Op.Falu Op.Fadd) [ g ] [ Op.Reg g; Op.Imm 1 ]) 3;
+  check_lat "fp multiply 3" (mk (Op.Falu Op.Fmul) [ g ] [ Op.Reg g; Op.Imm 1 ]) 3;
+  check_lat "load 2" (mk Op.Load [ g ] [ Op.Reg g; Op.Imm 0 ]) 2;
+  check_lat "store 1" (mk Op.Store [] [ Op.Reg g; Op.Imm 0; Op.Imm 1 ]) 1;
+  check_lat "branch 1" (mk Op.Branch [] [ Op.Reg (Reg.btr 1) ]) 1;
+  check_lat "compare 1"
+    (mk (Op.Cmpp (Op.Eq, Op.Un, None)) [ Reg.pred 1 ] [ Op.Reg g; Op.Imm 0 ])
+    1
+
+let unit_classes () =
+  let g = Reg.gpr 1 in
+  checkb "alu on I" true
+    (M.fu_of_op (mk (Op.Alu Op.Add) [ g ] [ Op.Reg g; Op.Imm 1 ]) = M.I);
+  checkb "cmpp on I" true
+    (M.fu_of_op (mk (Op.Cmpp (Op.Eq, Op.Un, None)) [ Reg.pred 1 ] [ Op.Reg g; Op.Imm 0 ]) = M.I);
+  checkb "fp on F" true
+    (M.fu_of_op (mk (Op.Falu Op.Fadd) [ g ] [ Op.Reg g; Op.Imm 1 ]) = M.F);
+  checkb "load on M" true (M.fu_of_op (mk Op.Load [ g ] [ Op.Reg g; Op.Imm 0 ]) = M.M);
+  checkb "pbr on B" true
+    (M.fu_of_op (mk Op.Pbr [ Reg.btr 1 ] [ Op.Lab "X"; Op.Imm 0 ]) = M.B)
+
+let machine_tuples () =
+  (* (I, F, M, B) of Section 7 *)
+  let slots m = List.map (M.slots m) [ M.I; M.F; M.M; M.B ] in
+  check Alcotest.(list int) "narrow" [ 2; 1; 1; 1 ] (slots M.narrow);
+  check Alcotest.(list int) "medium" [ 4; 2; 2; 1 ] (slots M.medium);
+  check Alcotest.(list int) "wide" [ 8; 4; 4; 2 ] (slots M.wide);
+  check Alcotest.(list int) "infinite" [ 75; 25; 25; 25 ] (slots M.infinite);
+  checki "five machines in paper order" 5 (List.length M.all)
+
+let reservation () =
+  let g = Reg.gpr 1 in
+  let alu = mk (Op.Alu Op.Add) [ g ] [ Op.Reg g; Op.Imm 1 ] in
+  let ld = mk Op.Load [ g ] [ Op.Reg g; Op.Imm 0 ] in
+  let r = R.create M.narrow in
+  checkb "slot available" true (R.available r ~cycle:0 alu);
+  R.reserve r ~cycle:0 alu;
+  checkb "second I slot" true (R.available r ~cycle:0 alu);
+  R.reserve r ~cycle:0 alu;
+  checkb "I exhausted" false (R.available r ~cycle:0 alu);
+  checkb "M still free" true (R.available r ~cycle:0 ld);
+  checkb "next cycle fresh" true (R.available r ~cycle:1 alu);
+  checki "three ops issued in cycle 0" 2 (R.used r ~cycle:0)
+
+let sequential_is_one_total () =
+  let g = Reg.gpr 1 in
+  let alu = mk (Op.Alu Op.Add) [ g ] [ Op.Reg g; Op.Imm 1 ] in
+  let ld = mk Op.Load [ g ] [ Op.Reg g; Op.Imm 0 ] in
+  let r = R.create M.sequential in
+  R.reserve r ~cycle:0 alu;
+  checkb "any second op blocked" false (R.available r ~cycle:0 ld)
+
+let tuned_heuristics () =
+  let t m = (Cpr_core.Heur.tuned_for m).Cpr_core.Heur.exit_weight_threshold in
+  checkb "narrow tighter than medium" true (t M.narrow < t M.medium);
+  checkb "wide looser than medium" true (t M.wide > t M.medium);
+  check (Alcotest.float 1e-9) "medium = default"
+    Cpr_core.Heur.default.Cpr_core.Heur.exit_weight_threshold (t M.medium)
+
+let suite =
+  ( "machine model",
+    [
+      case "paper latencies" paper_latencies;
+      case "unit classes" unit_classes;
+      case "machine tuples" machine_tuples;
+      case "reservation" reservation;
+      case "sequential issues one op" sequential_is_one_total;
+      case "per-machine heuristics" tuned_heuristics;
+    ] )

@@ -1,0 +1,115 @@
+open Cpr_ir
+open Helpers
+
+let mk ?(guard = Op.True) opcode dests srcs = Op.make ~id:1 ~guard opcode dests srcs
+
+let uses_and_defs () =
+  let r1 = Reg.gpr 1 and r2 = Reg.gpr 2 and p = Reg.pred 1 in
+  let op = mk ~guard:(Op.If p) (Op.Alu Op.Add) [ r1 ] [ Op.Reg r2; Op.Imm 3 ] in
+  checkb "uses src" true (List.exists (Reg.equal r2) (Op.uses op));
+  checkb "uses guard" true (List.exists (Reg.equal p) (Op.uses op));
+  checkb "does not use dest" false (List.exists (Reg.equal r1) (Op.uses op));
+  checkb "defs dest" true (List.exists (Reg.equal r1) (Op.defs op))
+
+let accumulators_read_their_dest () =
+  let pon = Reg.pred 1 and poff = Reg.pred 2 in
+  let op =
+    mk (Op.Cmpp (Op.Eq, Op.Ac, Some Op.On)) [ pon; poff ]
+      [ Op.Reg (Reg.gpr 1); Op.Imm 0 ]
+  in
+  checkb "ac dest is accumulator" true
+    (List.exists (Reg.equal pon) (Op.accumulator_dests op));
+  checkb "on dest is accumulator" true
+    (List.exists (Reg.equal poff) (Op.accumulator_dests op));
+  checkb "accumulators are read" true
+    (List.exists (Reg.equal pon) (Op.uses op))
+
+let unconditional_writes () =
+  let pt = Reg.pred 1 and pf = Reg.pred 2 in
+  let op =
+    mk ~guard:(Op.If (Reg.pred 3))
+      (Op.Cmpp (Op.Eq, Op.Un, Some Op.Uc))
+      [ pt; pf ]
+      [ Op.Reg (Reg.gpr 1); Op.Imm 0 ]
+  in
+  checki "un and uc write under false guard" 2
+    (List.length (Op.writes_when_guard_false op));
+  let acc =
+    mk ~guard:(Op.If (Reg.pred 3))
+      (Op.Cmpp (Op.Eq, Op.Ac, Some Op.On))
+      [ pt; pf ]
+      [ Op.Reg (Reg.gpr 1); Op.Imm 0 ]
+  in
+  checki "accumulators never write under false guard" 0
+    (List.length (Op.writes_when_guard_false acc))
+
+let classify () =
+  let r = Reg.gpr 1 and b = Reg.btr 1 in
+  checkb "store not speculatable" false
+    (Op.is_speculatable (mk Op.Store [] [ Op.Reg r; Op.Imm 0; Op.Imm 1 ]));
+  checkb "branch not speculatable" false
+    (Op.is_speculatable (mk Op.Branch [] [ Op.Reg b ]));
+  checkb "load speculatable" true
+    (Op.is_speculatable (mk Op.Load [ r ] [ Op.Reg r; Op.Imm 0 ]));
+  checkb "alu speculatable" true
+    (Op.is_speculatable (mk (Op.Alu Op.Add) [ r ] [ Op.Reg r; Op.Imm 1 ]))
+
+let alu_semantics () =
+  checki "add" 7 (Op.eval_alu Op.Add 3 4);
+  checki "sub" (-1) (Op.eval_alu Op.Sub 3 4);
+  checki "mul" 12 (Op.eval_alu Op.Mul 3 4);
+  checki "div" 2 (Op.eval_alu Op.Div 9 4);
+  checki "div by zero is 0 (non-trapping)" 0 (Op.eval_alu Op.Div 9 0);
+  checki "mov takes second operand" 4 (Op.eval_alu Op.Mov 3 4);
+  checki "and" 1 (Op.eval_alu Op.And_ 3 5);
+  checki "xor" 6 (Op.eval_alu Op.Xor 3 5);
+  checki "shl" 12 (Op.eval_alu Op.Shl 3 2);
+  checki "shl by negative is masked" (3 lsl 2) (Op.eval_alu Op.Shl 3 (-2));
+  checki "shr" 2 (Op.eval_alu Op.Shr 9 2);
+  checki "fdiv by zero is 0" 0 (Op.eval_falu Op.Fdiv 9 0)
+
+let cond_semantics () =
+  checkb "eq" true (Op.eval_cond Op.Eq 3 3);
+  checkb "ne" true (Op.eval_cond Op.Ne 3 4);
+  checkb "lt" true (Op.eval_cond Op.Lt (-1) 0);
+  checkb "le" true (Op.eval_cond Op.Le 0 0);
+  checkb "gt" false (Op.eval_cond Op.Gt 0 0);
+  checkb "ge" true (Op.eval_cond Op.Ge 1 0)
+
+let negate_cond_involution () =
+  List.iter
+    (fun c ->
+      checkb "negation is involutive" true
+        (Op.negate_cond (Op.negate_cond c) = c);
+      for a = -2 to 2 do
+        for b = -2 to 2 do
+          checkb "negation flips outcome" true
+            (Op.eval_cond c a b = not (Op.eval_cond (Op.negate_cond c) a b))
+        done
+      done)
+    [ Op.Eq; Op.Ne; Op.Lt; Op.Le; Op.Gt; Op.Ge ]
+
+let printing () =
+  let op =
+    mk ~guard:(Op.If (Reg.pred 6))
+      (Op.Cmpp (Op.Eq, Op.Un, Some Op.Uc))
+      [ Reg.pred 1; Reg.pred 2 ]
+      [ Op.Reg (Reg.gpr 3); Op.Imm 0 ]
+  in
+  let s = Op.to_string op in
+  checkb "mentions opcode" true
+    (Astring_like.contains s "cmpp.un.uc");
+  checkb "mentions guard" true (Astring_like.contains s "if p6")
+
+let suite =
+  ( "op",
+    [
+      case "uses and defs" uses_and_defs;
+      case "accumulator dests" accumulators_read_their_dest;
+      case "unconditional writes" unconditional_writes;
+      case "speculatability" classify;
+      case "alu semantics" alu_semantics;
+      case "cond semantics" cond_semantics;
+      case "negate_cond involution" negate_cond_involution;
+      case "printing" printing;
+    ] )

@@ -1,0 +1,104 @@
+open Cpr_ir
+module P = Cpr_pipeline
+module M = Cpr_machine.Descr
+open Helpers
+module B = Builder
+
+let paper_estimator_formula () =
+  (* two regions with known schedule lengths and entry counts *)
+  let ctx = B.create () in
+  let a = B.gpr ctx and b = B.gpr ctx in
+  let r1 =
+    B.region ctx "One" ~fallthrough:"Two" (fun e ->
+        let (_ : Op.t) = B.movi e a 1 in
+        let (_ : Op.t) = B.addi e b a 1 in
+        ())
+  in
+  let r2 =
+    B.region ctx "Two" ~fallthrough:"Exit" (fun e ->
+        let (_ : Op.t) = B.addi e a b 1 in
+        ())
+  in
+  let prog = B.prog ctx ~entry:"One" ~live_out:[ a ] [ r1; r2 ] in
+  (Prog.find_exn prog "One").Region.entry_count <- 10;
+  (Prog.find_exn prog "Two").Region.entry_count <- 7;
+  (* sequential lengths: region One = mov@0, add@1 -> length 2;
+     region Two = 1 *)
+  checki "sum of length x frequency" ((2 * 10) + (1 * 7))
+    (P.Perf.estimate M.sequential prog)
+
+let exit_aware_never_exceeds () =
+  List.iter
+    (fun name ->
+      let w = Option.get (Cpr_workloads.Registry.find name) in
+      let prog = w.Cpr_workloads.Workload.build () in
+      P.Passes.profile prog (w.Cpr_workloads.Workload.inputs ());
+      List.iter
+        (fun m ->
+          checkb
+            (Printf.sprintf "%s %s" name m.M.name)
+            true
+            (P.Perf.estimate_exit_aware m prog <= P.Perf.estimate m prog))
+        M.all)
+    [ "strcpy"; "grep" ]
+
+let speedup_math () =
+  check (Alcotest.float 1e-9) "2x" 2.0
+    (P.Perf.speedup ~baseline:100 ~transformed:50);
+  check (Alcotest.float 1e-9) "degenerate" 1.0
+    (P.Perf.speedup ~baseline:100 ~transformed:0)
+
+let gmean_math () =
+  check (Alcotest.float 1e-9) "identity" 1.0 (P.Report.gmean [ 1.0; 1.0 ]);
+  check (Alcotest.float 1e-6) "sqrt" 2.0 (P.Report.gmean [ 1.0; 4.0 ]);
+  check (Alcotest.float 1e-9) "empty" 1.0 (P.Report.gmean [])
+
+let report_shape () =
+  let w = Option.get (Cpr_workloads.Registry.find "strcpy") in
+  let r =
+    P.Report.run ~name:"strcpy" (w.Cpr_workloads.Workload.build ())
+      (w.Cpr_workloads.Workload.inputs ())
+  in
+  checkb "equivalent" true (r.P.Report.equivalent = Ok ());
+  checki "five machines" 5 (List.length r.P.Report.speedups);
+  check
+    Alcotest.(list string)
+    "machine order" [ "Seq"; "Nar"; "Med"; "Wid"; "Inf" ]
+    (List.map fst r.P.Report.speedups);
+  (* paper directional facts for strcpy *)
+  checkb "dynamic branches collapse" true (r.P.Report.d_br < 0.5);
+  checkb "dynamic ops shrink (irredundant)" true (r.P.Report.d_tot < 1.0);
+  checkb "static code grows moderately" true
+    (r.P.Report.s_tot > 1.0 && r.P.Report.s_tot < 1.6);
+  checkb "wide speedup exceeds sequential-adjacent narrow" true
+    (List.assoc "Wid" r.P.Report.speedups
+    > List.assoc "Nar" r.P.Report.speedups);
+  checkb "infinite at least wide" true
+    (List.assoc "Inf" r.P.Report.speedups
+    >= List.assoc "Wid" r.P.Report.speedups -. 1e-9)
+
+let profile_rerecords () =
+  let prog, inputs = profiled_strcpy () in
+  let before = (loop_of prog).Region.entry_count in
+  P.Passes.profile prog inputs;
+  checki "profile clears before recording" before
+    (loop_of prog).Region.entry_count
+
+let baseline_does_not_mutate_input () =
+  let prog, inputs = profiled_strcpy () in
+  let text = Printer.to_text prog in
+  let (_ : P.Passes.compiled) = P.Passes.baseline prog inputs in
+  let (_ : P.Passes.compiled) = P.Passes.height_reduce prog inputs in
+  check Alcotest.string "input program untouched" text (Printer.to_text prog)
+
+let suite =
+  ( "pipeline & report",
+    [
+      case "paper estimator formula" paper_estimator_formula;
+      case "exit-aware refinement bounded" exit_aware_never_exceeds;
+      case "speedup math" speedup_math;
+      case "gmean math" gmean_math;
+      case "report shape (strcpy facts)" report_shape;
+      case "profile re-records" profile_rerecords;
+      case "pipeline copies its input" baseline_does_not_mutate_input;
+    ] )

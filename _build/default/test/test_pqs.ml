@@ -1,0 +1,149 @@
+open Cpr_analysis
+open Helpers
+
+let l1 = Pqs.cond_lit 1
+let l2 = Pqs.cond_lit 2
+let not_ = Pqs.not_
+let ( &&& ) = Pqs.and_
+let ( ||| ) = Pqs.or_
+
+let constants () =
+  checkb "true" true (Pqs.is_const_true Pqs.tru);
+  checkb "false" true (Pqs.is_const_false Pqs.fls);
+  checkb "const true" true (Pqs.is_const_true (Pqs.const true));
+  checkb "and with false" true (Pqs.is_const_false (l1 &&& Pqs.fls));
+  checkb "or with true" true (Pqs.is_const_true (l1 ||| Pqs.tru));
+  checkb "unknown poisons" true (Pqs.is_unknown (l1 &&& Pqs.unknown))
+
+let contradiction_and_negation () =
+  checkb "x & ~x = false" true (Pqs.is_const_false (l1 &&& not_ l1));
+  checkb "~~x = x syntactically implies both ways" true
+    (Pqs.implies (not_ (not_ l1)) l1 && Pqs.implies l1 (not_ (not_ l1)));
+  checkb "x | ~x is not reduced but implied by true only via eval" true
+    (Pqs.eval (fun _ -> true) (l1 ||| not_ l1) = Some true)
+
+let disjointness () =
+  checkb "complementary literals" true (Pqs.disjoint l1 (not_ l1));
+  checkb "independent literals not provably disjoint" false
+    (Pqs.disjoint l1 l2);
+  checkb "conjunction extension stays disjoint" true
+    (Pqs.disjoint (l1 &&& l2) (not_ l1 &&& l2));
+  checkb "or distributes over disjointness" true
+    (Pqs.disjoint (l1 ||| (l1 &&& l2)) (not_ l1));
+  checkb "false disjoint from anything" true (Pqs.disjoint Pqs.fls l1);
+  checkb "unknown never disjoint" false (Pqs.disjoint Pqs.unknown Pqs.fls);
+  (* FRP pattern: block predicates vs the taken predicate of an earlier
+     branch (the property that lets the scheduler overlap branches) *)
+  let taken1 = l1 in
+  let fall1 = not_ l1 in
+  let taken2 = fall1 &&& l2 in
+  let fall2 = fall1 &&& not_ l2 in
+  checkb "taken1 # taken2" true (Pqs.disjoint taken1 taken2);
+  checkb "taken1 # fall2" true (Pqs.disjoint taken1 fall2);
+  checkb "taken2 # fall2" true (Pqs.disjoint taken2 fall2);
+  checkb "fall1 not # taken2" false (Pqs.disjoint fall1 taken2)
+
+let implication () =
+  checkb "conj implies its part" true (Pqs.implies (l1 &&& l2) l1);
+  checkb "part does not imply conj" false (Pqs.implies l1 (l1 &&& l2));
+  checkb "or implies only if all branches do" false
+    (Pqs.implies (l1 ||| l2) l1);
+  checkb "both branches imply" true (Pqs.implies ((l1 &&& l2) ||| l1) l1);
+  checkb "false implies anything" true (Pqs.implies Pqs.fls l2);
+  checkb "anything implies true" true (Pqs.implies (l1 &&& not_ l2) Pqs.tru);
+  checkb "unknown implies nothing" false (Pqs.implies Pqs.unknown Pqs.tru)
+
+let entry_literals () =
+  let p = Pqs.entry_lit (Cpr_ir.Reg.pred 4) in
+  checkb "p # ~p" true (Pqs.disjoint p (not_ p));
+  checkb "entry and cond literals independent" false (Pqs.disjoint p l1)
+
+(* --- property tests: syntactic answers are sound w.r.t. brute force --- *)
+
+(* random expression trees over 4 condition literals *)
+let gen_expr =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n = 0 then
+             oneof
+               [
+                 return Pqs.tru;
+                 return Pqs.fls;
+                 map (fun i -> Pqs.cond_lit (i mod 4)) small_nat;
+                 map (fun i -> Pqs.not_ (Pqs.cond_lit (i mod 4))) small_nat;
+               ]
+           else
+             oneof
+               [
+                 map2 Pqs.and_ (self (n / 2)) (self (n / 2));
+                 map2 Pqs.or_ (self (n / 2)) (self (n / 2));
+                 map Pqs.not_ (self (n - 1));
+               ]))
+
+let all_assignments keys =
+  let keys = List.sort_uniq compare keys in
+  let rec go = function
+    | [] -> [ (fun _ -> false) ]
+    | k :: rest ->
+      List.concat_map
+        (fun f -> [ (fun q -> if q = k then false else f q);
+                    (fun q -> if q = k then true else f q) ])
+        (go rest)
+  in
+  go keys
+
+let semantically agg f a b =
+  let keys = Pqs.keys a @ Pqs.keys b in
+  agg
+    (fun assign ->
+      match (Pqs.eval assign a, Pqs.eval assign b) with
+      | Some va, Some vb -> f va vb
+      | _ -> true)
+    (all_assignments keys)
+
+let prop_disjoint_sound =
+  QCheck2.Test.make ~name:"disjoint answers are sound" ~count:300
+    QCheck2.Gen.(pair gen_expr gen_expr)
+    (fun (a, b) ->
+      (not (Pqs.disjoint a b))
+      || semantically List.for_all (fun va vb -> not (va && vb)) a b)
+
+let prop_implies_sound =
+  QCheck2.Test.make ~name:"implies answers are sound" ~count:300
+    QCheck2.Gen.(pair gen_expr gen_expr)
+    (fun (a, b) ->
+      (not (Pqs.implies a b))
+      || semantically List.for_all (fun va vb -> (not va) || vb) a b)
+
+let prop_eval_homomorphic =
+  QCheck2.Test.make ~name:"and/or/not evaluate pointwise" ~count:300
+    QCheck2.Gen.(pair gen_expr gen_expr)
+    (fun (a, b) ->
+      let keys = Pqs.keys a @ Pqs.keys b in
+      List.for_all
+        (fun assign ->
+          match
+            ( Pqs.eval assign a,
+              Pqs.eval assign b,
+              Pqs.eval assign (Pqs.and_ a b),
+              Pqs.eval assign (Pqs.or_ a b),
+              Pqs.eval assign (Pqs.not_ a) )
+          with
+          | Some va, Some vb, Some vand, Some vor, Some vnot ->
+            vand = (va && vb) && vor = (va || vb) && vnot = not va
+          | _ -> true)
+        (all_assignments keys))
+
+let suite =
+  ( "pqs",
+    [
+      case "constants" constants;
+      case "contradiction and negation" contradiction_and_negation;
+      case "disjointness" disjointness;
+      case "implication" implication;
+      case "entry literals" entry_literals;
+      QCheck_alcotest.to_alcotest prop_disjoint_sound;
+      QCheck_alcotest.to_alcotest prop_implies_sound;
+      QCheck_alcotest.to_alcotest prop_eval_homomorphic;
+    ] )

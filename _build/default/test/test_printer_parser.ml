@@ -1,0 +1,99 @@
+open Cpr_ir
+open Helpers
+
+let roundtrip_workloads () =
+  List.iter
+    (fun (w : Cpr_workloads.Workload.t) ->
+      let p = w.Cpr_workloads.Workload.build () in
+      let text = Printer.to_text p in
+      let p' = Parser_.of_text text in
+      Validate.check_exn p';
+      check Alcotest.string
+        (w.Cpr_workloads.Workload.name ^ " round-trips")
+        text (Printer.to_text p'))
+    [
+      Option.get (Cpr_workloads.Registry.find "strcpy");
+      Option.get (Cpr_workloads.Registry.find "cccp");
+      Option.get (Cpr_workloads.Registry.find "023.eqntott");
+    ]
+
+let roundtrip_transformed () =
+  let prog, _, _ = paper_transformed_strcpy () in
+  let text = Printer.to_text prog in
+  let p' = Parser_.of_text text in
+  check Alcotest.string "transformed code round-trips" text (Printer.to_text p')
+
+let roundtrip_preserves_semantics () =
+  let prog, inputs = profiled_strcpy () in
+  let p' = Parser_.of_text (Printer.to_text prog) in
+  expect_equiv prog p' inputs
+
+let headers_round_trip () =
+  let ctx = Builder.create () in
+  let r = Builder.gpr ctx and b = Builder.gpr ctx in
+  let region = Builder.region ctx "A" (fun _ -> ()) in
+  let p =
+    Builder.prog ctx ~entry:"A" ~exit_labels:[ "X"; "Y" ] ~live_out:[ r ]
+      ~noalias_bases:[ r; b ] [ region ]
+  in
+  let p' = Parser_.of_text (Printer.to_text p) in
+  check Alcotest.(list string) "exits" [ "X"; "Y" ] p'.Prog.exit_labels;
+  checki "liveout" 1 (List.length p'.Prog.live_out);
+  checki "noalias" 2 (List.length p'.Prog.noalias_bases);
+  checkb "no-fallthrough region" true
+    ((Prog.find_exn p' "A").Region.fallthrough = None)
+
+let error_reporting () =
+  let expect_error text =
+    match Parser_.of_text text with
+    | exception Parser_.Parse_error (_, _) -> ()
+    | _ -> Alcotest.failf "accepted %S" text
+  in
+  expect_error "region A\nendregion\n";
+  expect_error "program entry A\nregion A\n  1. r1 = bogus(r2) if T\nendregion\n";
+  expect_error "program entry A\nregion A\n  1. r1 = add(r2, 1)\nendregion\n";
+  expect_error "program entry A\nregion A\n  r1 = add(r2, 1) if T\nendregion\n";
+  expect_error "program entry A\nregion A\n  1. q7 = add(r2, 1) if T\nendregion\n";
+  expect_error "program entry A\nregion A\n  1. r1 = add(r2, 1) if T\n"
+
+let error_line_numbers () =
+  match
+    Parser_.of_text "program entry A\nregion A\n  1. zz\nendregion\n"
+  with
+  | exception Parser_.Parse_error (line, _) -> checki "line number" 3 line
+  | _ -> Alcotest.fail "accepted"
+
+let negative_immediates_and_labels () =
+  let text =
+    "program entry A\n\
+     region A fallthrough Exit\n\
+    \  1. r1 = add(r2, -3) if T\n\
+    \  2. b1 = pbr(Some_Label9, 0) if T\n\
+     endregion\n\
+     region Some_Label9 fallthrough Exit\n\
+     endregion\n"
+  in
+  let p = Parser_.of_text text in
+  let op = List.hd (Prog.find_exn p "A").Region.ops in
+  checkb "negative imm" true (List.mem (Op.Imm (-3)) op.Op.srcs)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"random programs round-trip" ~count:80
+    QCheck2.Gen.(int_range 0 800)
+    (fun seed ->
+      let p = Cpr_workloads.Gen.prog_of_seed seed in
+      let text = Printer.to_text p in
+      text = Printer.to_text (Parser_.of_text text))
+
+let suite =
+  ( "printer & parser",
+    [
+      case "workloads round-trip" roundtrip_workloads;
+      case "transformed code round-trips" roundtrip_transformed;
+      case "round-trip preserves semantics" roundtrip_preserves_semantics;
+      case "headers round-trip" headers_round_trip;
+      case "errors rejected" error_reporting;
+      case "error line numbers" error_line_numbers;
+      case "negative immediates and labels" negative_immediates_and_labels;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+    ] )

@@ -1,0 +1,120 @@
+(* End-to-end property tests: the heart of the differential-testing
+   strategy described in DESIGN.md. *)
+
+open Cpr_ir
+module P = Cpr_pipeline
+module W = Cpr_workloads
+
+let gen_seed = QCheck2.Gen.int_range 0 2000
+
+let prop_full_pipeline_equivalence =
+  QCheck2.Test.make
+    ~name:"baseline and height-reduced programs are semantically equivalent"
+    ~count:120 gen_seed
+    (fun seed ->
+      let prog = W.Gen.prog_of_seed seed in
+      let inputs = W.Gen.inputs_of_seed seed in
+      let base = P.Passes.baseline prog inputs in
+      let red = P.Passes.height_reduce prog inputs in
+      Cpr_sim.Equiv.check_many base.P.Passes.prog red.P.Passes.prog inputs
+      = Ok ())
+
+let prop_transformed_validates =
+  QCheck2.Test.make ~name:"transformed programs stay well-formed" ~count:120
+    gen_seed
+    (fun seed ->
+      let prog = W.Gen.prog_of_seed seed in
+      let inputs = W.Gen.inputs_of_seed seed in
+      let red = P.Passes.height_reduce prog inputs in
+      Validate.check red.P.Passes.prog = [])
+
+let prop_irredundant_dynamic_ops =
+  (* ICBM's headline (Section 4.2): on the on-trace path, n branches are
+     replaced by a single bypass and operation count is conserved up to
+     the small initialization overhead.  The paper's own Table 3 shows
+     overall dynamic op counts may grow slightly when executions leave
+     the trace (D tot up to 1.06), so the property is restricted to runs
+     that never leave the predominant path: no compensation region and no
+     side-exit stub is ever entered. *)
+  QCheck2.Test.make
+    ~name:"on-trace runs: branches shrink, ops bounded (ICBM irredundancy)"
+    ~count:80 gen_seed
+    (fun seed ->
+      let prog = W.Gen.prog_of_seed seed in
+      let inputs = W.Gen.inputs_of_seed seed in
+      let base = P.Passes.baseline prog inputs in
+      let red = P.Passes.height_reduce prog inputs in
+      let count p =
+        List.fold_left
+          (fun (ops, brs) input ->
+            let out = Cpr_sim.Equiv.run_on p input in
+            (ops + out.Cpr_sim.Interp.ops_issued,
+             brs + out.Cpr_sim.Interp.branches_executed))
+          (0, 0) inputs
+      in
+      let b_ops, b_brs = count base.P.Passes.prog in
+      let r_ops, r_brs = count red.P.Passes.prog in
+      let transformed =
+        match red.P.Passes.icbm with
+        | Some s -> s.Cpr_core.Icbm.blocks_transformed > 0
+        | None -> false
+      in
+      P.Passes.profile red.P.Passes.prog inputs;
+      let off_trace_label l =
+        (String.length l >= 3 && String.sub l 0 3 = "Cmp")
+        || (String.length l >= 4 && String.sub l 0 4 = "Stub")
+      in
+      let entries = ref 0 in
+      let stayed_on_trace =
+        List.for_all
+          (fun (r : Region.t) ->
+            entries := !entries + r.Region.entry_count;
+            r.Region.entry_count = 0 || not (off_trace_label r.Region.label))
+          (Prog.regions red.P.Passes.prog)
+      in
+      (not transformed) || (not stayed_on_trace)
+      || (r_brs <= b_brs && r_ops <= b_ops + (2 * !entries)))
+
+let prop_dce_safe =
+  QCheck2.Test.make ~name:"DCE preserves semantics" ~count:80 gen_seed
+    (fun seed ->
+      let prog = W.Gen.prog_of_seed seed in
+      let inputs = W.Gen.inputs_of_seed seed in
+      let t = Prog.copy prog in
+      let (_ : int) = Cpr_core.Dce.run t in
+      Validate.check t = [] && Cpr_sim.Equiv.check_many prog t inputs = Ok ())
+
+let prop_estimator_monotone_in_width =
+  (* more hardware never makes the static estimate worse *)
+  QCheck2.Test.make ~name:"estimate decreases with machine width" ~count:40
+    gen_seed
+    (fun seed ->
+      let prog = W.Gen.prog_of_seed seed in
+      let inputs = W.Gen.inputs_of_seed seed in
+      P.Passes.profile prog inputs;
+      let e m = P.Perf.estimate m prog in
+      e Cpr_machine.Descr.narrow >= e Cpr_machine.Descr.medium
+      && e Cpr_machine.Descr.medium >= e Cpr_machine.Descr.wide
+      && e Cpr_machine.Descr.wide >= e Cpr_machine.Descr.infinite)
+
+let prop_interp_deterministic =
+  QCheck2.Test.make ~name:"interpreter is deterministic" ~count:40 gen_seed
+    (fun seed ->
+      let prog = W.Gen.prog_of_seed seed in
+      let input = W.Gen.input_of_seed seed ~seed in
+      let a = Cpr_sim.Equiv.run_on prog input in
+      let b = Cpr_sim.Equiv.run_on prog input in
+      a.Cpr_sim.Interp.exit_label = b.Cpr_sim.Interp.exit_label
+      && Cpr_sim.State.memory_snapshot a.Cpr_sim.Interp.state
+         = Cpr_sim.State.memory_snapshot b.Cpr_sim.Interp.state)
+
+let suite =
+  ( "end-to-end properties",
+    [
+      QCheck_alcotest.to_alcotest prop_full_pipeline_equivalence;
+      QCheck_alcotest.to_alcotest prop_transformed_validates;
+      QCheck_alcotest.to_alcotest prop_irredundant_dynamic_ops;
+      QCheck_alcotest.to_alcotest prop_dce_safe;
+      QCheck_alcotest.to_alcotest prop_estimator_monotone_in_width;
+      QCheck_alcotest.to_alcotest prop_interp_deterministic;
+    ] )

@@ -1,0 +1,60 @@
+open Cpr_ir
+open Helpers
+
+let classes () =
+  checkb "gpr not pred" false (Reg.is_pred (Reg.gpr 1));
+  checkb "pred is pred" true (Reg.is_pred (Reg.pred 1));
+  checkb "btr not pred" false (Reg.is_pred (Reg.btr 1))
+
+let equality () =
+  checkb "same" true (Reg.equal (Reg.gpr 3) (Reg.gpr 3));
+  checkb "id differs" false (Reg.equal (Reg.gpr 3) (Reg.gpr 4));
+  checkb "class differs" false (Reg.equal (Reg.gpr 3) (Reg.pred 3));
+  checki "compare reflexive" 0 (Reg.compare (Reg.btr 2) (Reg.btr 2))
+
+let ordering () =
+  (* class-major ordering keeps sets deterministic *)
+  let sorted =
+    List.sort Reg.compare [ Reg.btr 0; Reg.pred 5; Reg.gpr 9; Reg.gpr 1 ]
+  in
+  check
+    Alcotest.(list string)
+    "sorted order"
+    [ "r1"; "r9"; "p5"; "b0" ]
+    (List.map Reg.to_string sorted)
+
+let names () =
+  check Alcotest.string "gpr" "r12" (Reg.to_string (Reg.gpr 12));
+  check Alcotest.string "pred" "p5" (Reg.to_string (Reg.pred 5));
+  check Alcotest.string "btr" "b3" (Reg.to_string (Reg.btr 3))
+
+let set_and_map () =
+  let s = Reg.Set.of_list [ Reg.gpr 1; Reg.gpr 1; Reg.pred 1 ] in
+  checki "set dedups" 2 (Reg.Set.cardinal s);
+  checkb "mem" true (Reg.Set.mem (Reg.pred 1) s);
+  let m = Reg.Map.add (Reg.gpr 7) 42 Reg.Map.empty in
+  checki "map find" 42 (Reg.Map.find (Reg.gpr 7) m)
+
+let hash_consistent () =
+  checkb "equal implies same hash" true
+    (Reg.hash (Reg.gpr 4) = Reg.hash (Reg.gpr 4));
+  checkb "classes hash apart" true
+    (Reg.hash (Reg.gpr 4) <> Reg.hash (Reg.pred 4))
+
+let tbl () =
+  let t = Reg.Tbl.create 7 in
+  Reg.Tbl.replace t (Reg.gpr 1) "a";
+  Reg.Tbl.replace t (Reg.gpr 1) "b";
+  check Alcotest.(option string) "replace" (Some "b") (Reg.Tbl.find_opt t (Reg.gpr 1))
+
+let suite =
+  ( "reg",
+    [
+      case "classes" classes;
+      case "equality" equality;
+      case "ordering" ordering;
+      case "names" names;
+      case "set and map" set_and_map;
+      case "hash" hash_consistent;
+      case "tbl" tbl;
+    ] )

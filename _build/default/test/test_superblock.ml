@@ -1,0 +1,114 @@
+open Cpr_ir
+module P = Cpr_pipeline
+module W = Cpr_workloads
+open Helpers
+
+(* A dispatch kernel's region graph (Loop -> Advance -> Back with handler
+   joins into Back) is the canonical formation target. *)
+let prepared () =
+  let w = Option.get (W.Registry.find "lex") in
+  let prog = w.W.Workload.build () in
+  let inputs = w.W.Workload.inputs () in
+  P.Passes.profile prog inputs;
+  (prog, inputs)
+
+let merges_hot_chain () =
+  let prog, inputs = prepared () in
+  let reference = Prog.copy prog in
+  let branches_before =
+    List.length (Region.branches (Prog.find_exn prog "Loop"))
+  in
+  let merged = Cpr_core.Superblock.form prog in
+  let (_ : int) = Cpr_core.Superblock.prune_unreachable prog in
+  Validate.check_exn prog;
+  checkb "merged at least Advance and Back" true (merged >= 2);
+  let loop = Prog.find_exn prog "Loop" in
+  checkb "superblock gained the loop-back branch" true
+    (List.length (Region.branches loop) > branches_before);
+  check Alcotest.(option string) "trace ends at the exit" (Some "Exit")
+    loop.Region.fallthrough;
+  expect_equiv reference prog inputs
+
+let tail_duplication_keeps_joins () =
+  let prog, _ = prepared () in
+  let back_ops = Region.static_op_count (Prog.find_exn prog "Back") in
+  let (_ : int) = Cpr_core.Superblock.form prog in
+  (* handlers still fall through to the original Back *)
+  checkb "original Back survives for its other predecessors" true
+    (Prog.find prog "Back" <> None);
+  checki "and is unchanged" back_ops
+    (Region.static_op_count (Prog.find_exn prog "Back"));
+  (* no dangling references *)
+  Validate.check_exn prog
+
+let absorbed_single_pred_is_pruned () =
+  let prog, _ = prepared () in
+  let (_ : int) = Cpr_core.Superblock.form prog in
+  let pruned = Cpr_core.Superblock.prune_unreachable prog in
+  (* Advance had Loop as its only predecessor: absorbed and pruned *)
+  checkb "something pruned" true (pruned >= 1);
+  checkb "Advance gone" true (Prog.find prog "Advance" = None)
+
+let cold_code_not_merged () =
+  let prog, _ = prepared () in
+  let cold_before = Region.static_op_count (Prog.find_exn prog "Cold1") in
+  let (_ : int) = Cpr_core.Superblock.form prog in
+  let (_ : int) = Cpr_core.Superblock.prune_unreachable prog in
+  checkb "cold chain survives" true (Prog.find prog "Cold1" <> None);
+  checki "and is unchanged" cold_before
+    (Region.static_op_count (Prog.find_exn prog "Cold1"))
+
+let formation_widens_cpr_scope () =
+  (* the whole point: after formation ICBM sees the loop-back branch in
+     the same superblock as the case checks and forms a taken-variation
+     block over all of them *)
+  let w = Option.get (W.Registry.find "lex") in
+  let inputs = w.W.Workload.inputs () in
+  let red = P.Passes.height_reduce (w.W.Workload.build ()) inputs in
+  let base = P.Passes.baseline (w.W.Workload.build ()) inputs in
+  let m = Cpr_machine.Descr.medium in
+  let speedup =
+    P.Perf.speedup
+      ~baseline:(P.Perf.estimate m base.P.Passes.prog)
+      ~transformed:(P.Perf.estimate m red.P.Passes.prog)
+  in
+  checkb
+    (Printf.sprintf "lex medium speedup %.2f > 1.3 with formation" speedup)
+    true (speedup > 1.3)
+
+let threshold_zero_means_greedy () =
+  let prog, inputs = prepared () in
+  let reference = Prog.copy prog in
+  let greedy = Cpr_core.Superblock.form ~threshold:0.0 prog in
+  let conservative =
+    let p = Prog.copy reference in
+    P.Passes.profile p inputs;
+    Cpr_core.Superblock.form ~threshold:1.1 p
+  in
+  checkb "greedy merges at least as much" true (greedy >= conservative);
+  checki "impossible threshold merges nothing" 0 conservative
+
+let prop_formation_safe =
+  QCheck2.Test.make ~name:"superblock formation preserves semantics"
+    ~count:60
+    QCheck2.Gen.(int_range 0 600)
+    (fun seed ->
+      let prog = W.Gen.prog_of_seed seed in
+      let inputs = W.Gen.inputs_of_seed seed in
+      let t = Prog.copy prog in
+      P.Passes.profile t inputs;
+      let (_ : int) = Cpr_core.Superblock.form t in
+      let (_ : int) = Cpr_core.Superblock.prune_unreachable t in
+      Validate.check t = [] && Cpr_sim.Equiv.check_many prog t inputs = Ok ())
+
+let suite =
+  ( "superblock formation",
+    [
+      case "merges the hot chain" merges_hot_chain;
+      case "tail duplication keeps joins" tail_duplication_keeps_joins;
+      case "absorbed regions pruned" absorbed_single_pred_is_pruned;
+      case "cold code untouched" cold_code_not_merged;
+      case "widens CPR scope" formation_widens_cpr_scope;
+      case "threshold behaviour" threshold_zero_means_greedy;
+      QCheck_alcotest.to_alcotest prop_formation_safe;
+    ] )
