@@ -16,7 +16,8 @@
      dune exec bench/main.exe              # everything (full suite)
      dune exec bench/main.exe -- --quick   # 3-workload subset
      dune exec bench/main.exe -- --tables  # skip the micro-benchmarks
-     dune exec bench/main.exe -- --micro   # skip the tables *)
+     dune exec bench/main.exe -- --micro   # skip the tables
+     dune exec bench/main.exe -- --json .  # also write BENCH_<date>.json *)
 
 open Bechamel
 open Toolkit
@@ -27,6 +28,26 @@ open Cpr_ir
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let tables_only = Array.exists (fun a -> a = "--tables") Sys.argv
 let micro_only = Array.exists (fun a -> a = "--micro") Sys.argv
+
+(* [--json PATH]: also dump the Table 2/3 numbers and the micro-bench
+   ns/run figures as machine-readable JSON.  A directory PATH gets a
+   dated [BENCH_<yyyy-mm-dd>.json] inside it. *)
+let json_path =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  Option.map
+    (fun p ->
+      if Sys.file_exists p && Sys.is_directory p then
+        let tm = Unix.gmtime (Unix.time ()) in
+        Filename.concat p
+          (Printf.sprintf "BENCH_%04d-%02d-%02d.json"
+             (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday)
+      else p)
+    (find 1)
 
 let suite () =
   if quick then
@@ -349,26 +370,98 @@ let run_micro () =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None
       ~stabilize:false ()
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let raw = Benchmark.all cfg instances test in
       let results = Analyze.all ols Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name ols_result ->
+      Hashtbl.fold
+        (fun name ols_result acc ->
           match Analyze.OLS.estimates ols_result with
           | Some (est :: _) ->
-            Format.printf "%-28s %12.0f ns/run@." name est
-          | _ -> Format.printf "%-28s %12s@." name "n/a")
-        results)
+            Format.printf "%-28s %12.0f ns/run@." name est;
+            (name, Some est) :: acc
+          | _ ->
+            Format.printf "%-28s %12s@." name "n/a";
+            (name, None) :: acc)
+        results [])
     (List.map (fun t -> Test.make_grouped ~name:"bench" [ t ]) micro_tests)
 
+(* ------------------------------------------------------------------ *)
+(* JSON dump (--json)                                                  *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path results micro =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let tm = Unix.gmtime (Unix.time ()) in
+  add "{\n  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday;
+  add "  \"benchmarks\": [";
+  List.iteri
+    (fun i (r : P.Report.result) ->
+      add "%s\n    { \"name\": \"%s\",\n"
+        (if i = 0 then "" else ",")
+        (json_escape r.P.Report.name);
+      add "      \"speedups\": {";
+      List.iteri
+        (fun j (m, s) ->
+          add "%s \"%s\": %.4f" (if j = 0 then "" else ",") (json_escape m) s)
+        r.P.Report.speedups;
+      add " },\n";
+      add "      \"op_ratios\": { \"s_tot\": %.4f, \"s_br\": %.4f, \
+           \"d_tot\": %.4f, \"d_br\": %.4f },\n"
+        r.P.Report.s_tot r.P.Report.s_br r.P.Report.d_tot r.P.Report.d_br;
+      let cycles key l =
+        add "      \"%s\": {" key;
+        List.iteri
+          (fun j (m, c) ->
+            add "%s \"%s\": %d" (if j = 0 then "" else ",") (json_escape m) c)
+          l;
+        add " }"
+      in
+      cycles "baseline_cycles" r.P.Report.baseline_cycles;
+      add ",\n";
+      cycles "reduced_cycles" r.P.Report.reduced_cycles;
+      add " }")
+    results;
+  add "\n  ],\n  \"micro_ns_per_run\": {";
+  List.iteri
+    (fun i (name, est) ->
+      add "%s\n    \"%s\": %s"
+        (if i = 0 then "" else ",")
+        (json_escape name)
+        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null"))
+    (List.sort compare micro);
+  add "\n  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." path
+
 let () =
-  if not micro_only then begin
-    print_table1 ();
-    let results = run_suite () in
-    print_table2 results;
-    print_table3 results;
-    print_figure67 ();
-    run_ablations ()
-  end;
-  if not tables_only then run_micro ()
+  let results =
+    if micro_only then []
+    else begin
+      print_table1 ();
+      let results = run_suite () in
+      print_table2 results;
+      print_table3 results;
+      print_figure67 ();
+      run_ablations ();
+      results
+    end
+  in
+  let micro = if tables_only then [] else run_micro () in
+  Option.iter (fun path -> write_json path results micro) json_path

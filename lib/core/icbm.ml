@@ -94,6 +94,22 @@ let block_legal liveness (region : Region.t) graph ops
          | Op.If q ->
            is_uc q || Option.fold ~none:false ~some:(Reg.equal q) root_pred)
     in
+    (* Mirrors Offtrace.apply: the reaching pbr of each block branch is
+       part of the prospective move set (the branch reads its btr off
+       trace; a conservatively-live btr makes the pbr a split
+       candidate). *)
+    let pbr_idxs =
+      List.filter_map
+        (fun bi ->
+          if bi < 0 then None
+          else
+            match Region.reaching_pbr region ops.(bi) with
+            | Some pbr ->
+              let i = idx_of_id pbr.Op.id in
+              if i < 0 then None else Some i
+            | None -> None)
+        br_idxs
+    in
     let queue = Queue.create () in
     List.iter
       (fun i ->
@@ -101,7 +117,7 @@ let block_legal liveness (region : Region.t) graph ops
           in_move.(i) <- true;
           Queue.add i queue
         end)
-      (cmp_idxs @ br_idxs);
+      (cmp_idxs @ br_idxs @ pbr_idxs);
     while not (Queue.is_empty queue) do
       let k = Queue.pop queue in
       if not (definitely_splittable k) then

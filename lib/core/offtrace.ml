@@ -27,13 +27,29 @@ let apply (prog : Prog.t) (region : Region.t) (plan : Restructure.plan) =
      variation, the final branch which stays as the bypass) and their
      transitive register/memory flow successors. *)
   let in_move = Array.make n false in
+  let branch_seeds =
+    List.filter_map
+      (fun id ->
+        if taken_var && id = plan.Restructure.bypass_id then None
+        else Some (idx_of_id id))
+      block.Restructure.branch_ids
+  in
+  (* A moved branch's prepare-to-branch moves with it — the branch reads
+     its btr in the compensation region, and an in-region reaching pbr is
+     a structural invariant.  Usually set 3 would move the pbr anyway
+     (its btr has no other use); seeding it here also covers hyperblocks
+     in which predicated pbr definitions keep the btr conservatively
+     live, where the split machinery then emits an on-trace copy. *)
+  let pbr_seeds =
+    List.filter_map
+      (fun bi ->
+        Option.map
+          (fun (pbr : Op.t) -> idx_of_id pbr.Op.id)
+          (Region.reaching_pbr region ops.(bi)))
+      branch_seeds
+  in
   let seeds =
-    List.map idx_of_id block.Restructure.compare_ids
-    @ List.filter_map
-        (fun id ->
-          if taken_var && id = plan.Restructure.bypass_id then None
-          else Some (idx_of_id id))
-        block.Restructure.branch_ids
+    List.map idx_of_id block.Restructure.compare_ids @ branch_seeds @ pbr_seeds
   in
   let root_pred_early =
     match block.Restructure.root_guard with

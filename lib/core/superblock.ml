@@ -88,7 +88,17 @@ let prune_unreachable (prog : Prog.t) =
       Hashtbl.replace reachable label ();
       match Prog.find prog label with
       | None -> ()
-      | Some r -> List.iter visit (Region.successors r)
+      | Some r ->
+        List.iter visit (Region.successors r);
+        (* A label operand without a consuming branch (e.g. a pbr whose
+           branch another pass removed) still references the region:
+           dropping the target would leave a dangling label. *)
+        List.iter
+          (fun (op : Op.t) ->
+            List.iter
+              (function Op.Lab l -> visit l | Op.Reg _ | Op.Imm _ -> ())
+              op.Op.srcs)
+          r.Region.ops
     end
   in
   visit prog.Prog.entry;

@@ -1,0 +1,194 @@
+open Cpr_ir
+
+type entry = {
+  path : string;
+  seed : int;
+  stage : string;
+  reason : string;
+  shape : string;
+  prog : Prog.t;
+  inputs : Cpr_sim.Equiv.input list;
+}
+
+let filename ~stage ~seed = Printf.sprintf "%s-seed%04d.cpr" stage seed
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let reg_to_string = Reg.to_string
+
+let reg_of_string s =
+  if String.length s < 2 then invalid_arg ("bad register " ^ s)
+  else begin
+    let id = int_of_string (String.sub s 1 (String.length s - 1)) in
+    match s.[0] with
+    | 'r' -> Reg.gpr id
+    | 'p' -> Reg.pred id
+    | 'b' -> Reg.btr id
+    | _ -> invalid_arg ("bad register " ^ s)
+  end
+
+let input_to_string (i : Cpr_sim.Equiv.input) =
+  let pair (k, v) = Printf.sprintf "%d=%d" k v in
+  let rpair (r, v) = Printf.sprintf "%s=%d" (reg_to_string r) v in
+  let bpair (r, b) =
+    Printf.sprintf "%s=%d" (reg_to_string r) (if b then 1 else 0)
+  in
+  let groups =
+    List.filter
+      (fun s -> s <> "")
+      [
+        (if i.Cpr_sim.Equiv.memory = [] then ""
+         else "mem " ^ String.concat " " (List.map pair i.Cpr_sim.Equiv.memory));
+        (if i.Cpr_sim.Equiv.gprs = [] then ""
+         else "gpr " ^ String.concat " " (List.map rpair i.Cpr_sim.Equiv.gprs));
+        (if i.Cpr_sim.Equiv.preds = [] then ""
+         else
+           "pred " ^ String.concat " " (List.map bpair i.Cpr_sim.Equiv.preds));
+      ]
+  in
+  String.concat " ; " groups
+
+let input_of_string s =
+  let parse_kv kv =
+    match String.index_opt kv '=' with
+    | Some i ->
+      ( String.sub kv 0 i,
+        int_of_string (String.sub kv (i + 1) (String.length kv - i - 1)) )
+    | None -> invalid_arg ("bad binding " ^ kv)
+  in
+  let input = ref Cpr_sim.Equiv.no_input in
+  List.iter
+    (fun group ->
+      match
+        List.filter
+          (fun t -> t <> "")
+          (String.split_on_char ' ' (String.trim group))
+      with
+      | [] -> ()
+      | kind :: kvs ->
+        let kvs = List.map parse_kv kvs in
+        let i = !input in
+        input :=
+          (match kind with
+          | "mem" ->
+            {
+              i with
+              Cpr_sim.Equiv.memory =
+                List.map (fun (a, v) -> (int_of_string a, v)) kvs;
+            }
+          | "gpr" ->
+            {
+              i with
+              Cpr_sim.Equiv.gprs =
+                List.map (fun (r, v) -> (reg_of_string r, v)) kvs;
+            }
+          | "pred" ->
+            {
+              i with
+              Cpr_sim.Equiv.preds =
+                List.map (fun (r, v) -> (reg_of_string r, v <> 0)) kvs;
+            }
+          | k -> invalid_arg ("bad input group " ^ k)))
+    (String.split_on_char ';' s);
+  !input
+
+let save ~dir (repro : Shrink.t) =
+  mkdir_p dir;
+  let path =
+    Filename.concat dir
+      (filename ~stage:repro.Shrink.stage ~seed:repro.Shrink.seed)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "# cpr-fuzz counterexample (regenerate with `dune exec bin/fuzz.exe`)\n";
+  Printf.fprintf oc "# seed: %d\n" repro.Shrink.seed;
+  Printf.fprintf oc "# stage: %s\n" repro.Shrink.stage;
+  Printf.fprintf oc "# reason: %s\n" (one_line repro.Shrink.reason);
+  Printf.fprintf oc "# shape: %s\n"
+    (Cpr_workloads.Gen.shape_to_string repro.Shrink.shape);
+  Printf.fprintf oc "# shrink-steps: %d\n" repro.Shrink.steps;
+  List.iter
+    (fun i -> Printf.fprintf oc "# input: %s\n" (input_to_string i))
+    repro.Shrink.inputs;
+  output_string oc (Printer.to_text repro.Shrink.prog);
+  close_out oc;
+  path
+
+let strip_prefix prefix line =
+  let n = String.length prefix in
+  if String.length line >= n && String.sub line 0 n = prefix then
+    Some (String.trim (String.sub line n (String.length line - n)))
+  else None
+
+let load path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    text
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    let lines = String.split_on_char '\n' text in
+    let meta, body =
+      List.partition
+        (fun l -> String.length l > 0 && l.[0] = '#')
+        lines
+    in
+    let field prefix default =
+      List.fold_left
+        (fun acc l ->
+          match strip_prefix prefix l with Some v -> v | None -> acc)
+        default meta
+    in
+    let inputs =
+      List.filter_map (strip_prefix "# input:") meta
+      |> List.map input_of_string
+    in
+    match Parser_.of_text (String.concat "\n" body) with
+    | exception Parser_.Parse_error (line, msg) ->
+      Error (Printf.sprintf "%s: parse error at line %d: %s" path line msg)
+    | prog -> (
+      match Validate.check prog with
+      | e :: _ ->
+        Error (Format.asprintf "%s: invalid program: %a" path Validate.pp_error e)
+      | [] ->
+        Ok
+          {
+            path;
+            seed = (try int_of_string (field "# seed:" "-1") with _ -> -1);
+            stage = field "# stage:" "icbm";
+            reason = field "# reason:" "";
+            shape = field "# shape:" "";
+            prog;
+            inputs;
+          }))
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cpr")
+    |> List.sort String.compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (path, load path))
+
+let replay entry =
+  match Stage.find entry.stage with
+  | None -> Error (Printf.sprintf "unknown stage %S" entry.stage)
+  | Some stage -> (
+    let inputs =
+      if entry.inputs = [] then [ Cpr_sim.Equiv.no_input ] else entry.inputs
+    in
+    match Driver.run_prog Driver.default_check stage entry.prog inputs with
+    | Driver.Pass -> Ok ()
+    | Driver.Fail r -> Error r
+    | Driver.Skip r -> Error ("reference unusable: " ^ r))

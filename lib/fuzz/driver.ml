@@ -1,0 +1,123 @@
+open Cpr_ir
+module W = Cpr_workloads
+
+type check = {
+  vliw : bool;
+  extra_inputs : int;
+  fault : Fault.t option;
+}
+
+let default_check = { vliw = true; extra_inputs = 2; fault = None }
+
+type outcome =
+  | Pass
+  | Fail of string
+  | Skip of string
+
+let inputs_for check seed =
+  W.Gen.inputs_of_seed seed
+  @ List.init check.extra_inputs (fun k ->
+        W.Gen.input_of_seed seed ~seed:(seed + ((k + 5) * 101)))
+
+let reference_ok prog inputs =
+  match Validate.check prog with
+  | e :: _ ->
+    Error (Format.asprintf "reference invalid: %a" Validate.pp_error e)
+  | [] -> (
+    match
+      List.iter
+        (fun input ->
+          ignore (Cpr_sim.Equiv.run_on prog input : Cpr_sim.Interp.outcome))
+        inputs
+    with
+    | () -> Ok ()
+    | exception Cpr_sim.Interp.Stuck msg -> Error ("reference stuck: " ^ msg))
+
+let run_prog check (stage : Stage.t) prog inputs =
+  match reference_ok prog inputs with
+  | Error msg -> Skip msg
+  | Ok () -> (
+    match stage.Stage.apply prog inputs with
+    | exception e -> Fail ("transform raised: " ^ Printexc.to_string e)
+    | candidate -> (
+      Fault.inject_opt check.fault candidate;
+      match Validate.check candidate with
+      | e :: _ -> Fail (Format.asprintf "validation: %a" Validate.pp_error e)
+      | [] -> (
+        match Cpr_sim.Equiv.check_many prog candidate inputs with
+        | Error e -> Fail ("equivalence: " ^ e)
+        | exception Cpr_sim.Interp.Stuck msg ->
+          Fail ("candidate stuck: " ^ msg)
+        | Ok () ->
+          if not check.vliw then Pass
+          else (
+            match
+              Cpr_sim.Vliw.check_against_interp Cpr_machine.Descr.medium
+                candidate inputs
+            with
+            | Ok () -> Pass
+            | Error e -> Fail ("vliw: " ^ e)
+            | exception Cpr_sim.Vliw.Vliw_error msg -> Fail ("vliw: " ^ msg)
+            | exception Cpr_sim.Interp.Stuck msg ->
+              Fail ("vliw interp: " ^ msg)))))
+
+let run_stage check stage ~seed =
+  run_prog check stage (W.Gen.prog_of_seed seed) (inputs_for check seed)
+
+(* ------------------------------------------------------------------ *)
+
+type tally = {
+  mutable runs : int;
+  mutable fails : int;
+  mutable skips : int;
+}
+
+type summary = {
+  tallies : (string * tally) list;
+  mutable seeds : int;
+  mutable failures : (int * string * string) list;
+}
+
+let new_summary stages =
+  {
+    tallies =
+      List.map
+        (fun (s : Stage.t) -> (s.Stage.name, { runs = 0; fails = 0; skips = 0 }))
+        stages;
+    seeds = 0;
+    failures = [];
+  }
+
+let record summary (stage : Stage.t) ~seed outcome =
+  let t = List.assoc stage.Stage.name summary.tallies in
+  t.runs <- t.runs + 1;
+  match outcome with
+  | Pass -> ()
+  | Skip _ -> t.skips <- t.skips + 1
+  | Fail reason ->
+    t.fails <- t.fails + 1;
+    summary.failures <- (seed, stage.Stage.name, reason) :: summary.failures
+
+let pp_summary ppf summary =
+  Format.fprintf ppf "%-12s%8s%8s%8s%8s%9s@." "stage" "runs" "pass" "fail"
+    "skip" "fail%";
+  List.iter
+    (fun (name, t) ->
+      if t.runs > 0 then
+        Format.fprintf ppf "%-12s%8d%8d%8d%8d%9.2f@." name t.runs
+          (t.runs - t.fails - t.skips)
+          t.fails t.skips
+          (100. *. float_of_int t.fails /. float_of_int t.runs))
+    summary.tallies;
+  let total_runs =
+    List.fold_left (fun acc (_, t) -> acc + t.runs) 0 summary.tallies
+  in
+  let total_fails =
+    List.fold_left (fun acc (_, t) -> acc + t.fails) 0 summary.tallies
+  in
+  Format.fprintf ppf "programs %d, stage runs %d, failures %d@." summary.seeds
+    total_runs total_fails;
+  List.iter
+    (fun (seed, stage, reason) ->
+      Format.fprintf ppf "FAIL seed %d stage %s: %s@." seed stage reason)
+    (List.rev summary.failures)

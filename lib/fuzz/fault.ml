@@ -1,0 +1,40 @@
+open Cpr_ir
+
+type t =
+  | Skip_compensation
+  | Drop_pred_init
+
+let all = [ Skip_compensation; Drop_pred_init ]
+
+let name = function
+  | Skip_compensation -> "skip-comp"
+  | Drop_pred_init -> "drop-pred-init"
+
+let describe = function
+  | Skip_compensation ->
+    "empty every compensation (Cmp*) region after the transform"
+  | Drop_pred_init -> "remove the Pred_init operations restructure inserts"
+
+let of_string s = List.find_opt (fun f -> name f = s) all
+
+let is_comp_label l = String.length l >= 3 && String.sub l 0 3 = "Cmp"
+
+let inject fault prog =
+  match fault with
+  | Skip_compensation ->
+    List.iter
+      (fun (r : Region.t) ->
+        if is_comp_label r.Region.label then r.Region.ops <- [])
+      (Prog.regions prog)
+  | Drop_pred_init ->
+    List.iter
+      (fun (r : Region.t) ->
+        r.Region.ops <-
+          List.filter
+            (fun (op : Op.t) ->
+              match op.Op.opcode with Op.Pred_init _ -> false | _ -> true)
+            r.Region.ops)
+      (Prog.regions prog)
+
+let inject_opt fault prog =
+  match fault with None -> () | Some f -> inject f prog

@@ -1,0 +1,29 @@
+open Cpr_ir
+
+(** Injectable miscompiles, for validating the fuzzing oracle itself.
+
+    Each fault corrupts a transformed program the way a real
+    transformation bug would (mutation testing for the differential
+    oracle): running the fuzzer with a fault injected must produce
+    failures, and the shrinker must reduce them to small reproducers.
+    A fuzzer change that stops catching every fault in {!all} is a
+    regression in the oracle, not in the compiler. *)
+
+type t =
+  | Skip_compensation
+      (** Empty every compensation ([Cmp*]) region after the transform —
+          the classic ICBM miscompile of emitting the bypass branch but
+          not the off-trace code it branches to. *)
+  | Drop_pred_init
+      (** Remove the [Pred_init] operations restructure places at region
+          top, leaving the on-/off-trace FRPs uninitialized. *)
+
+val all : t list
+val name : t -> string
+val of_string : string -> t option
+val describe : t -> string
+
+val inject : t -> Prog.t -> unit
+(** Corrupt a transformed program in place. *)
+
+val inject_opt : t option -> Prog.t -> unit

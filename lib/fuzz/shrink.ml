@@ -1,0 +1,170 @@
+open Cpr_ir
+module W = Cpr_workloads
+
+type t = {
+  seed : int;
+  stage : string;
+  reason : string;
+  shape : W.Gen.shape;
+  prog : Prog.t;
+  inputs : Cpr_sim.Equiv.input list;
+  steps : int;
+}
+
+let fails check stage prog inputs =
+  match Driver.run_prog check stage prog inputs with
+  | Driver.Fail reason -> Some reason
+  | Driver.Pass | Driver.Skip _ -> None
+
+let of_failure check stage ~seed =
+  let inputs = Driver.inputs_for check seed in
+  let shape = W.Gen.shape_of_seed seed in
+  let prog = W.Gen.prog_of ~shape seed in
+  match fails check stage prog inputs with
+  | None -> invalid_arg "Shrink: seed does not fail this stage"
+  | Some reason ->
+    { seed; stage = stage.Stage.name; reason; shape; prog; inputs; steps = 0 }
+
+(* Structurally smaller shapes, biggest cut first.  [exit_stubs] stays
+   >= 1 (the generator always branches to some stub label) and every
+   field only ever decreases, so phase 1 terminates. *)
+let shape_candidates (s : W.Gen.shape) =
+  let open W.Gen in
+  List.concat
+    [
+      (if s.blocks > 1 then
+         [ { s with blocks = s.blocks / 2 }; { s with blocks = s.blocks - 1 } ]
+       else []);
+      (if s.ops_per_block > 0 then
+         [
+           { s with ops_per_block = s.ops_per_block / 2 };
+           { s with ops_per_block = s.ops_per_block - 1 };
+         ]
+       else []);
+      (if s.exit_stubs > 1 then [ { s with exit_stubs = s.exit_stubs - 1 } ]
+       else []);
+      (if s.loop then [ { s with loop = false } ] else []);
+      (if s.fp then [ { s with fp = false } ] else []);
+      (if s.stores then [ { s with stores = false } ] else []);
+      (if s.loads then [ { s with loads = false } ] else []);
+    ]
+
+let minimize check stage ~seed =
+  let repro = of_failure check stage ~seed in
+  let shape = ref repro.shape in
+  let prog = ref repro.prog in
+  let reason = ref repro.reason in
+  let steps = ref 0 in
+  let inputs0 = repro.inputs in
+  (* Phase 1: shape *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun cand ->
+        if not !progress then begin
+          let p = W.Gen.prog_of ~shape:cand seed in
+          match fails check stage p inputs0 with
+          | Some r ->
+            shape := cand;
+            prog := p;
+            reason := r;
+            incr steps;
+            progress := true
+          | None -> ()
+        end)
+      (shape_candidates !shape)
+  done;
+  (* Phase 2: drop single operations to a fixpoint *)
+  let drop_op label id =
+    let p = Prog.copy !prog in
+    (match Prog.find p label with
+    | Some r ->
+      r.Region.ops <-
+        List.filter (fun (o : Op.t) -> o.Op.id <> id) r.Region.ops
+    | None -> ());
+    p
+  in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let candidates =
+      List.concat_map
+        (fun (r : Region.t) ->
+          List.map (fun (o : Op.t) -> (r.Region.label, o.Op.id)) r.Region.ops)
+        (Prog.regions !prog)
+    in
+    List.iter
+      (fun (label, id) ->
+        let still_there =
+          match Prog.find !prog label with
+          | Some r -> List.exists (fun (o : Op.t) -> o.Op.id = id) r.Region.ops
+          | None -> false
+        in
+        if still_there then begin
+          let p = drop_op label id in
+          match fails check stage p inputs0 with
+          | Some r ->
+            prog := p;
+            reason := r;
+            incr steps;
+            progress := true
+          | None -> ()
+        end)
+      candidates
+  done;
+  (* Phase 3a: a single failing input *)
+  let inputs = ref inputs0 in
+  if List.length inputs0 > 1 then begin
+    match
+      List.find_opt (fun i -> fails check stage !prog [ i ] <> None) inputs0
+    with
+    | Some i ->
+      (match fails check stage !prog [ i ] with
+      | Some r ->
+        inputs := [ i ];
+        reason := r;
+        incr steps
+      | None -> assert false)
+    | None -> () (* only the combination fails; keep the battery *)
+  end;
+  (* Phase 3b: delta-debug memory cells of the surviving input *)
+  (match !inputs with
+  | [ input ] ->
+    let rec shrink_cells (input : Cpr_sim.Equiv.input) chunk =
+      if chunk = 0 then input
+      else begin
+        let mem = input.Cpr_sim.Equiv.memory in
+        let n = List.length mem in
+        let rec try_at i =
+          if i >= n then None
+          else begin
+            let cand_mem =
+              List.filteri (fun j _ -> j < i || j >= i + chunk) mem
+            in
+            let cand = { input with Cpr_sim.Equiv.memory = cand_mem } in
+            match fails check stage !prog [ cand ] with
+            | Some r -> Some (cand, r)
+            | None -> try_at (i + chunk)
+          end
+        in
+        match try_at 0 with
+        | Some (cand, r) ->
+          reason := r;
+          incr steps;
+          shrink_cells cand chunk
+        | None -> shrink_cells input (chunk / 2)
+      end
+    in
+    let n = List.length input.Cpr_sim.Equiv.memory in
+    if n > 0 then inputs := [ shrink_cells input (max 1 (n / 2)) ]
+  | _ -> ());
+  {
+    seed;
+    stage = stage.Stage.name;
+    reason = !reason;
+    shape = !shape;
+    prog = !prog;
+    inputs = !inputs;
+    steps = !steps;
+  }

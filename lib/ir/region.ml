@@ -47,6 +47,25 @@ let clear_profile t =
   t.entry_count <- 0;
   Hashtbl.reset t.taken
 
+let reaching_pbr t (br : Op.t) =
+  let btr =
+    List.find_map
+      (function Op.Reg r when r.Reg.cls = Reg.Btr -> Some r | _ -> None)
+      br.Op.srcs
+  in
+  match btr with
+  | None -> None
+  | Some btr ->
+    let rec scan best = function
+      | [] -> best
+      | (op : Op.t) :: rest ->
+        if op.Op.id = br.Op.id then best
+        else if Op.is_pbr op && List.exists (Reg.equal btr) op.Op.dests then
+          scan (Some op) rest
+        else scan best rest
+    in
+    scan None t.ops
+
 let successors t =
   let targets = List.filter_map (branch_target t) (branches t) in
   let all = targets @ Option.to_list t.fallthrough in

@@ -43,3 +43,51 @@ let height_reduce ?heur prog inputs =
   Validate.check_exn p;
   profile p inputs;
   { prog = p; icbm = Some stats }
+
+(* Per-stage entry points: each runs one transformation (plus its
+   prerequisites) on a prepared copy, re-validates and re-profiles.  The
+   differential fuzzer drives these individually so a miscompile is
+   attributed to the narrowest stage that exhibits it. *)
+
+let finish p inputs =
+  Validate.check_exn p;
+  profile p inputs;
+  { prog = p; icbm = None }
+
+let superblock_only prog inputs = baseline prog inputs
+
+let if_convert prog inputs =
+  let p = prepare prog inputs in
+  let (_ : Cpr_core.Ifconv.stats) = Cpr_core.Ifconv.convert p in
+  finish p inputs
+
+let frp_convert prog inputs =
+  let p = prepare prog inputs in
+  let (_ : int) = Cpr_core.Frp.convert p in
+  finish p inputs
+
+let speculate prog inputs =
+  let p = prepare prog inputs in
+  let (_ : int) = Cpr_core.Frp.convert p in
+  let (_ : Cpr_core.Spec.stats) = Cpr_core.Spec.speculate p in
+  finish p inputs
+
+let full_cpr prog inputs =
+  let p = prepare prog inputs in
+  List.iter
+    (fun (r : Region.t) ->
+      if Cpr_core.Frp.convert_region p r then begin
+        let (_ : Cpr_core.Spec.stats) = Cpr_core.Spec.speculate_region p r in
+        ignore (Cpr_core.Fullcpr.transform_region p r : bool)
+      end)
+    (Prog.regions p);
+  finish p inputs
+
+let unroll ?(factor = 2) prog inputs =
+  let p = prepare prog inputs in
+  List.iter
+    (fun (r : Region.t) ->
+      if Cpr_core.Unroll.unrollable p r then
+        ignore (Cpr_core.Unroll.unroll_region p r ~factor : bool))
+    (Prog.regions p);
+  finish p inputs

@@ -30,3 +30,32 @@ val height_reduce :
 (** Full pipeline on a fresh copy: profile, FRP-convert, ICBM, validate,
     re-profile.  Raises [Invalid_argument] if the transformed program
     fails structural validation. *)
+
+(** {2 Per-stage entry points}
+
+    Each runs one transformation (with its prerequisites) on a
+    {!prepare}d copy, then re-validates and re-profiles.  The
+    differential fuzzer ({!Cpr_fuzz}) drives these individually so that a
+    miscompile is attributed to the narrowest stage exhibiting it; they
+    are also convenient for ablation benches.  All raise
+    [Invalid_argument] on a validation failure, like {!height_reduce}. *)
+
+val superblock_only : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+(** Alias of {!baseline}: superblock formation is the whole stage. *)
+
+val if_convert : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+(** {!prepare} + classic if-conversion of unbiased side exits. *)
+
+val frp_convert : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+(** {!prepare} + FRP conversion of every region. *)
+
+val speculate : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+(** {!prepare} + FRP conversion + predicate speculation. *)
+
+val full_cpr : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+(** {!prepare} + per-region FRP conversion, speculation and the full
+    (redundant) CPR scheme of Schlansker & Kathail. *)
+
+val unroll : ?factor:int -> Prog.t -> Cpr_sim.Equiv.input list -> compiled
+(** {!prepare} + unrolling of every unrollable self-loop ([factor]
+    default 2). *)

@@ -37,8 +37,7 @@ let arr_a = 1000
 let arr_b = 2000
 let cnt_cell = 900
 
-let prog_of_seed seed =
-  let shape = shape_of_seed seed in
+let prog_of ~shape seed =
   let rng = { state = Kernels.lcg (seed + 2) } in
   let ctx = B.create () in
   let pool = B.gprs ctx 8 in
@@ -135,6 +134,12 @@ let prog_of_seed seed =
     ~live_out:[ pool.(0); pool.(1) ]
     ~noalias_bases:[ base_a; base_b; base_z ]
     (start :: main :: stubs)
+
+let prog_of_seed seed = prog_of ~shape:(shape_of_seed seed) seed
+
+let shape_to_string s =
+  Printf.sprintf "blocks=%d ops=%d loop=%b stores=%b loads=%b fp=%b stubs=%d"
+    s.blocks s.ops_per_block s.loop s.stores s.loads s.fp s.exit_stubs
 
 let input_of_seed prog_seed ~seed =
   ignore prog_seed;

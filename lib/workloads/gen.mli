@@ -18,7 +18,16 @@ type shape = {
 }
 
 val shape_of_seed : int -> shape
+
+val prog_of : shape:shape -> int -> Prog.t
+(** Generate with an explicit shape (the seed still drives opcode and
+    operand choice) — the hook the fuzzer's shrinker uses to regenerate
+    structurally smaller variants of a failing program. *)
+
 val prog_of_seed : int -> Prog.t
+(** [prog_of ~shape:(shape_of_seed seed) seed]. *)
+
+val shape_to_string : shape -> string
 val input_of_seed : int -> seed:int -> Cpr_sim.Equiv.input
 (** First argument is the program seed (sizes must match); [seed] varies
     the data. *)
