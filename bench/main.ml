@@ -29,25 +29,53 @@ let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let tables_only = Array.exists (fun a -> a = "--tables") Sys.argv
 let micro_only = Array.exists (fun a -> a = "--micro") Sys.argv
 
-(* [--json PATH]: also dump the Table 2/3 numbers and the micro-bench
-   ns/run figures as machine-readable JSON.  A directory PATH gets a
-   dated [BENCH_<yyyy-mm-dd>.json] inside it. *)
-let json_path =
+let flag_value name =
   let rec find i =
     if i >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--json" && i + 1 < Array.length Sys.argv then
+    else if Sys.argv.(i) = name && i + 1 < Array.length Sys.argv then
       Some Sys.argv.(i + 1)
     else find (i + 1)
   in
+  find 1
+
+(* [--domains N]: domains for the workload-suite run.  Defaults to the
+   runtime's recommendation capped at 8; results are identical for every
+   N, only the wall clock changes. *)
+let domains =
+  match flag_value "--domains" with
+  | None -> Cpr_par.Pool.default_domains ()
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some d when d >= 1 -> d
+    | _ -> invalid_arg "--domains expects a positive integer")
+
+(* Reproducible-build convention: SOURCE_DATE_EPOCH overrides the wall
+   clock wherever a date lands in output. *)
+let bench_date () =
+  let epoch =
+    match
+      Option.bind (Sys.getenv_opt "SOURCE_DATE_EPOCH") float_of_string_opt
+    with
+    | Some t -> t
+    | None -> Unix.time ()
+  in
+  let tm = Unix.gmtime epoch in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+
+(* [--json PATH]: also dump the Table 2/3 numbers, the micro-bench
+   ns/run figures, and the parallel wall-clock measurements as JSON.  A
+   directory PATH gets a dated [BENCH_<yyyy-mm-dd>.json] inside it; a
+   sibling [BENCH_latest.json] is always (re)written too, and the
+   previous latest, if any, is compared against. *)
+let json_target =
   Option.map
     (fun p ->
       if Sys.file_exists p && Sys.is_directory p then
-        let tm = Unix.gmtime (Unix.time ()) in
-        Filename.concat p
-          (Printf.sprintf "BENCH_%04d-%02d-%02d.json"
-             (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday)
-      else p)
-    (find 1)
+        ( Filename.concat p (Printf.sprintf "BENCH_%s.json" (bench_date ())),
+          Filename.concat p "BENCH_latest.json" )
+      else (p, Filename.concat (Filename.dirname p) "BENCH_latest.json"))
+    (flag_value "--json")
 
 let suite () =
   if quick then
@@ -77,20 +105,32 @@ let print_table1 () =
 (* ------------------------------------------------------------------ *)
 (* Tables 2 and 3 over the workload suite                              *)
 
-let run_suite () =
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let suite_jobs () =
   List.map
     (fun (w : W.Workload.t) ->
-      let r =
-        P.Report.run ~name:w.W.Workload.name (w.W.Workload.build ())
-          (w.W.Workload.inputs ())
-      in
-      (match r.P.Report.equivalent with
-      | Ok () -> ()
-      | Error e ->
-        Format.eprintf "WARNING %s equivalence: %s@." w.W.Workload.name e);
-      Format.eprintf "  [%s done]@.%!" w.W.Workload.name;
-      r)
+      (w.W.Workload.name, w.W.Workload.build (), w.W.Workload.inputs ()))
     (suite ())
+
+let run_suite ?(quiet = false) ~domains () =
+  let results =
+    Cpr_par.Pool.with_pool ~domains (fun pool ->
+        P.Report.run_many ~pool (suite_jobs ()))
+  in
+  if not quiet then
+    List.iter
+      (fun (r : P.Report.result) ->
+        (match r.P.Report.equivalent with
+        | Ok () -> ()
+        | Error e ->
+          Format.eprintf "WARNING %s equivalence: %s@." r.P.Report.name e);
+        Format.eprintf "  [%s done]@.%!" r.P.Report.name)
+      results;
+  results
 
 let print_table2 results =
   Format.printf
@@ -402,12 +442,98 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path results micro =
+(* Wall-clock behavior of the two pooled paths at one domain vs the
+   requested count — the numbers the "Performance" section of the README
+   tracks.  On a single-core host the pairs coincide (modulo noise);
+   multi-core CI is where the spread shows. *)
+let measure_parallel () =
+  let suite_wall d =
+    snd
+      (timed (fun () ->
+           ignore
+             (run_suite ~quiet:true ~domains:d () : P.Report.result list)))
+  in
+  let fuzz_rate d =
+    let stages =
+      match Cpr_fuzz.Stage.parse "all" with
+      | Ok s -> s
+      | Error m -> failwith m
+    in
+    let n = 200 in
+    let _, dt =
+      timed (fun () ->
+          Cpr_par.Pool.with_pool ~domains:d (fun pool ->
+              ignore
+                (Cpr_fuzz.Driver.run_seeds ~pool Cpr_fuzz.Driver.default_check
+                   stages ~lo:0 ~hi:n
+                  : (int * (Cpr_fuzz.Stage.t * Cpr_fuzz.Driver.outcome) list)
+                    list)))
+    in
+    float_of_int n /. dt
+  in
+  let s1 = suite_wall 1 and sn = suite_wall domains in
+  let f1 = fuzz_rate 1 and fn = fuzz_rate domains in
+  ((s1, sn), (f1, fn))
+
+(* Just enough JSON scanning to pull the previous run's micro numbers
+   back out of a BENCH_latest.json written by [write_json] below (fixed
+   layout: one "name": value pair per line inside micro_ns_per_run). *)
+let read_prev_micro path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let in_micro = ref false in
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if not !in_micro then begin
+          if
+            String.length line >= 18
+            && String.sub line 0 18 = "\"micro_ns_per_run\""
+          then in_micro := true;
+          None
+        end
+        else if String.length line > 0 && line.[0] = '}' then begin
+          in_micro := false;
+          None
+        end
+        else
+          match String.index_opt line ':' with
+          | Some i when String.length line > 1 && line.[0] = '"' -> (
+            match String.rindex_from_opt line (i - 1) '"' with
+            | Some q when q > 0 ->
+              let name = String.sub line 1 (q - 1) in
+              let v =
+                String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              let v =
+                if v <> "" && v.[String.length v - 1] = ',' then
+                  String.sub v 0 (String.length v - 1)
+                else v
+              in
+              Option.map (fun f -> (name, f)) (float_of_string_opt v)
+            | _ -> None)
+          | _ -> None)
+      (String.split_on_char '\n' s)
+  end
+
+let write_json ~dated ~latest results micro par =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  let tm = Unix.gmtime (Unix.time ()) in
-  add "{\n  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
-    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday;
+  add "{\n  \"date\": \"%s\",\n" (bench_date ());
+  let (s1, sn), (f1, fn) = par in
+  add "  \"parallel\": {\n";
+  add "    \"domains_requested\": %d,\n" domains;
+  add "    \"suite_wall_s\": { \"domains_1\": %.3f, \"domains_requested\": \
+       %.3f },\n"
+    s1 sn;
+  add "    \"fuzz_seeds_per_s\": { \"domains_1\": %.1f, \
+       \"domains_requested\": %.1f }\n"
+    f1 fn;
+  add "  },\n";
   add "  \"benchmarks\": [";
   List.iteri
     (fun i (r : P.Report.result) ->
@@ -445,17 +571,33 @@ let write_json path results micro =
         (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null"))
     (List.sort compare micro);
   add "\n  }\n}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Format.printf "@.wrote %s@." path
+  let prev = read_prev_micro latest in
+  let contents = Buffer.contents buf in
+  List.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Format.printf "@.wrote %s@." path)
+    (if dated = latest then [ dated ] else [ dated; latest ]);
+  if prev <> [] then begin
+    Format.printf "@.micro-bench vs previous %s:@." latest;
+    List.iter
+      (fun (name, est) ->
+        match (est, List.assoc_opt name prev) with
+        | Some e, Some p when p > 0. ->
+          Format.printf "  %-28s %12.0f -> %12.0f ns/run (x%.2f)@." name p e
+            (e /. p)
+        | _ -> ())
+      (List.sort compare micro)
+  end
 
 let () =
   let results =
     if micro_only then []
     else begin
       print_table1 ();
-      let results = run_suite () in
+      let results = run_suite ~domains () in
       print_table2 results;
       print_table3 results;
       print_figure67 ();
@@ -464,4 +606,8 @@ let () =
     end
   in
   let micro = if tables_only then [] else run_micro () in
-  Option.iter (fun path -> write_json path results micro) json_path
+  Option.iter
+    (fun (dated, latest) ->
+      let par = measure_parallel () in
+      write_json ~dated ~latest results micro par)
+    json_target

@@ -34,7 +34,7 @@ let parse_seeds spec =
     with Failure _ -> Error (`Msg ("bad seed range " ^ spec)))
 
 let run seeds stages_spec shrink out fault_name no_vliw extra_inputs
-    max_shrinks quiet =
+    max_shrinks quiet domains =
   let lo, hi = seeds in
   let stages =
     match F.Stage.parse stages_spec with
@@ -58,21 +58,28 @@ let run seeds stages_spec shrink out fault_name no_vliw extra_inputs
   let summary = F.Driver.new_summary stages in
   let shrunk = ref 0 in
   let to_shrink = ref [] in
-  for seed = lo to hi - 1 do
-    summary.F.Driver.seeds <- summary.F.Driver.seeds + 1;
-    List.iter
-      (fun stage ->
-        let outcome = F.Driver.run_stage check stage ~seed in
-        F.Driver.record summary stage ~seed outcome;
-        match outcome with
-        | F.Driver.Pass | F.Driver.Skip _ -> ()
-        | F.Driver.Fail reason ->
-          if not quiet then
-            Format.eprintf "FAIL seed %d stage %s: %s@.%!" seed
-              stage.F.Stage.name reason;
-          to_shrink := (stage, seed) :: !to_shrink)
-      stages
-  done;
+  (* Seeds fan out across domains; outcomes come back in seed order, so
+     the accounting below (and everything it prints) is byte-identical
+     to --domains 1.  Shrinking runs sequentially afterwards. *)
+  let outcomes =
+    Cpr_par.Pool.with_pool ~domains (fun pool ->
+        F.Driver.run_seeds ~pool check stages ~lo ~hi)
+  in
+  List.iter
+    (fun (seed, per_stage) ->
+      summary.F.Driver.seeds <- summary.F.Driver.seeds + 1;
+      List.iter
+        (fun (stage, outcome) ->
+          F.Driver.record summary stage ~seed outcome;
+          match outcome with
+          | F.Driver.Pass | F.Driver.Skip _ -> ()
+          | F.Driver.Fail reason ->
+            if not quiet then
+              Format.eprintf "FAIL seed %d stage %s: %s@.%!" seed
+                stage.F.Stage.name reason;
+            to_shrink := (stage, seed) :: !to_shrink)
+        per_stage)
+    outcomes;
   if shrink then
     List.iter
       (fun (stage, seed) ->
@@ -158,16 +165,28 @@ let max_shrinks_arg =
 let quiet_flag =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the summary.")
 
+let domains_arg =
+  Arg.(value & opt int (Cpr_par.Pool.default_domains ())
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Domains to fan seeds out across (default: the runtime's \
+                 recommendation, capped at 8).  Output is identical for \
+                 every $(i,N).")
+
 let () =
   let term =
     Term.(
-      const (fun seeds stages shrink out fault no_vliw extra max_shrinks quiet ->
-          try run seeds stages shrink out fault no_vliw extra max_shrinks quiet
+      const
+        (fun seeds stages shrink out fault no_vliw extra max_shrinks quiet
+             domains ->
+          try
+            run seeds stages shrink out fault no_vliw extra max_shrinks quiet
+              domains
           with Failure msg ->
             prerr_endline msg;
             2)
       $ seeds_arg $ stages_arg $ shrink_flag $ out_arg $ fault_arg
-      $ no_vliw_flag $ extra_inputs_arg $ max_shrinks_arg $ quiet_flag)
+      $ no_vliw_flag $ extra_inputs_arg $ max_shrinks_arg $ quiet_flag
+      $ domains_arg)
   in
   let info =
     Cmd.info "fuzz" ~version:"1.0"

@@ -40,31 +40,42 @@ let flavor_of_action = function
   | Op.An | Op.Ac -> Some And_acc
   | Op.Un | Op.Uc -> None
 
-(* Accesses of one op to one register, in evaluation order (uses first). *)
-let accesses (op : Op.t) (r : Reg.t) =
-  let plain_uses =
-    List.filter_map
-      (function Op.Reg x when Reg.equal x r -> Some Use | _ -> None)
-      op.Op.srcs
-    @ (match op.Op.guard with
-      | Op.If g when Reg.equal g r -> [ Use ]
-      | Op.If _ | Op.True -> [])
+(* Per-register access events over a whole op array, in one pass:
+   [events.(r)] lists [(op index, access)] with indices ascending and,
+   within one op, accesses in evaluation order (uses first).  Replaces
+   the old per-register rescan of every op, which made register edge
+   construction O(ops x registers). *)
+let access_events ops =
+  let events : (int * access) list ref Reg.Tbl.t =
+    Reg.Tbl.create (2 * Array.length ops)
   in
-  let dest_accesses =
-    match op.Op.opcode with
-    | Op.Cmpp (_, a1, a2) ->
-      let acts = a1 :: Option.to_list a2 in
-      List.concat_map
-        (fun (act, d) ->
-          if Reg.equal d r then
-            [ (match flavor_of_action act with Some f -> Acc f | None -> Def) ]
-          else [])
-        (List.combine acts op.Op.dests)
-    | _ -> List.filter_map
-             (fun d -> if Reg.equal d r then Some Def else None)
-             op.Op.dests
+  let push r ev =
+    match Reg.Tbl.find_opt events r with
+    | Some l -> l := ev :: !l
+    | None -> Reg.Tbl.add events r (ref [ ev ])
   in
-  plain_uses @ dest_accesses
+  Array.iteri
+    (fun i (op : Op.t) ->
+      List.iter
+        (function Op.Reg x -> push x (i, Use) | Op.Imm _ | Op.Lab _ -> ())
+        op.Op.srcs;
+      (match op.Op.guard with
+      | Op.If g -> push g (i, Use)
+      | Op.True -> ());
+      match op.Op.opcode with
+      | Op.Cmpp (_, a1, a2) ->
+        List.iter2
+          (fun act d ->
+            push d
+              ( i,
+                match flavor_of_action act with
+                | Some f -> Acc f
+                | None -> Def ))
+          (a1 :: Option.to_list a2)
+          op.Op.dests
+      | _ -> List.iter (fun d -> push d (i, Def)) op.Op.dests)
+    ops;
+  events
 
 (* Does the op unconditionally kill [r]?  Guarded plain defs and
    accumulator writes do not; UN/UC cmpp destinations write even under a
@@ -75,29 +86,31 @@ let kills_unconditionally (op : Op.t) r =
      && List.exists (Reg.equal r) (Op.defs op)
      && not (List.exists (Reg.equal r) (Op.accumulator_dests op)))
 
-let all_regs ops =
-  Array.fold_left
-    (fun acc op ->
-      List.fold_left (fun acc r -> Reg.Set.add r acc) acc
-        (Op.defs op @ Op.uses op))
-    Reg.Set.empty ops
-
 let build machine (prog : Prog.t) liveness (region : Region.t) =
   let ops = Array.of_list region.Region.ops in
   let n = Array.length ops in
   let lat = Array.map (Cpr_machine.Descr.latency_of machine) ops in
   let env = Pred_env.analyze region in
   let guard_expr = Array.init n (Pred_env.guard_expr env) in
-  let edges = ref [] in
-  let add src dst kind latency = edges := { src; dst; kind; latency } :: !edges in
+  (* Edges accumulate in a preallocated, doubling array; the exposed
+     [edges] list and the [preds]/[succs] adjacency lists are carved out
+     of it at the end in exactly the order the old list-accumulating
+     construction produced (several core passes iterate them). *)
+  let dummy = { src = 0; dst = 0; kind = Ctrl; latency = 0 } in
+  let earr = ref (Array.make (max 16 (4 * n)) dummy) in
+  let n_edges = ref 0 in
+  let add src dst kind latency =
+    if !n_edges = Array.length !earr then begin
+      let bigger = Array.make (2 * !n_edges) dummy in
+      Array.blit !earr 0 bigger 0 !n_edges;
+      earr := bigger
+    end;
+    !earr.(!n_edges) <- { src; dst; kind; latency };
+    incr n_edges
+  in
 
   (* Register dependences, one register at a time. *)
-  let reg_edges r =
-    let evs =
-      List.concat
-        (List.init n (fun i ->
-             List.map (fun a -> (i, a)) (accesses ops.(i) r)))
-    in
+  let reg_edges r evs =
     let rec pairs = function
       | [] -> ()
       | (i, ai) :: rest ->
@@ -129,7 +142,15 @@ let build machine (prog : Prog.t) liveness (region : Region.t) =
     in
     pairs evs
   in
-  Reg.Set.iter reg_edges (all_regs ops);
+  (* Visit registers in the same sorted order [Reg.Set.iter] over the
+     region's registers used to, so edge order is unchanged. *)
+  let events = access_events ops in
+  let regs =
+    Reg.Tbl.fold (fun r _ acc -> Reg.Set.add r acc) events Reg.Set.empty
+  in
+  Reg.Set.iter
+    (fun r -> reg_edges r (List.rev !(Reg.Tbl.find events r)))
+    regs;
 
   (* Memory dependences. *)
   let alias = Alias.analyze prog region in
@@ -180,12 +201,20 @@ let build machine (prog : Prog.t) liveness (region : Region.t) =
     end
   done;
 
+  (* The old code prepended each edge onto a list, so the exposed list is
+     in reverse addition order and the adjacency lists (built by a second
+     prepend pass over it) are in addition order.  Reproduce both. *)
   let preds = Array.make n [] and succs = Array.make n [] in
-  List.iter
-    (fun e ->
-      succs.(e.src) <- e :: succs.(e.src);
-      preds.(e.dst) <- e :: preds.(e.dst))
-    !edges;
+  let edges = ref [] in
+  let arr = !earr in
+  for k = 0 to !n_edges - 1 do
+    edges := arr.(k) :: !edges
+  done;
+  for k = !n_edges - 1 downto 0 do
+    let e = arr.(k) in
+    succs.(e.src) <- e :: succs.(e.src);
+    preds.(e.dst) <- e :: preds.(e.dst)
+  done;
   { ops; lat; edges = !edges; preds; succs }
 
 let n_ops t = Array.length t.ops

@@ -289,6 +289,19 @@ let apply (prog : Prog.t) (region : Region.t) (plan : Restructure.plan) =
              uses_of.(i)
         && not
              (List.exists (fun d -> Reg.Set.mem d live_exposed.(i + 1)) op.Op.dests)
+        (* Sinking [i] into the compensation region re-orders it after
+           every staying op; a staying (or split — its on-trace copy runs
+           above the bypass) later redefinition of a register [i] reads or
+           writes would then clobber it first.  Flow hazards are covered
+           by the staying-use and liveness tests above; anti and output
+           hazards must be checked explicitly. *)
+        && List.for_all
+             (fun (e : Cpr_analysis.Depgraph.edge) ->
+               match e.Depgraph.kind with
+               | Depgraph.Anti _ | Depgraph.Output _ ->
+                 in_move.(e.Depgraph.dst) && not is_split.(e.Depgraph.dst)
+               | _ -> true)
+             (Depgraph.succs graph i)
       then begin
         in_move.(i) <- true;
         changed := true

@@ -64,6 +64,21 @@ let run_prog check (stage : Stage.t) prog inputs =
 let run_stage check stage ~seed =
   run_prog check stage (W.Gen.prog_of_seed seed) (inputs_for check seed)
 
+(* One task per seed (running all its stages) keeps tasks coarse enough
+   to amortize pool hand-off; results come back in seed order, so the
+   caller's accounting and FAIL output are independent of the domain
+   count.  Shrinking stays with the caller: it is rare, highly stateful,
+   and its step count is part of the reproducer's identity. *)
+let run_seeds ?pool check stages ~lo ~hi =
+  let seeds = List.init (max 0 (hi - lo)) (fun k -> lo + k) in
+  let one seed =
+    ( seed,
+      List.map (fun stage -> (stage, run_stage check stage ~seed)) stages )
+  in
+  match pool with
+  | Some p -> Cpr_par.Pool.map p one seeds
+  | None -> List.map one seeds
+
 (* ------------------------------------------------------------------ *)
 
 type tally = {

@@ -38,6 +38,14 @@ val run_prog :
 val run_stage : check -> Stage.t -> seed:int -> outcome
 (** Generate the seed's program and inputs, then {!run_prog}. *)
 
+val run_seeds :
+  ?pool:Cpr_par.Pool.t -> check -> Stage.t list -> lo:int -> hi:int
+  -> (int * (Stage.t * outcome) list) list
+(** {!run_stage} for every seed in the half-open range [lo..hi), every
+    stage.  [?pool] fans seeds out across domains; results are returned
+    in ascending seed order regardless, so recording and printing them
+    afterwards is byte-identical to the sequential run. *)
+
 (** {2 Summary accounting} *)
 
 type tally = {

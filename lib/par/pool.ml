@@ -1,0 +1,129 @@
+(* A batch is an array of thunks plus a cursor.  Workers (and the
+   caller) race on [next] under the pool mutex, run the claimed thunk
+   outside the lock, and the last finisher signals [batch_done].  Thunks
+   never raise: [map] wraps each task so failures land in the result
+   slot and re-raise deterministically in the caller. *)
+
+type batch = {
+  tasks : (unit -> unit) array;
+  mutable next : int;
+  mutable finished : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  mutable batch : batch option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  domains : int;
+}
+
+let domains t = t.domains
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+(* Run tasks from [b] until its cursor is exhausted.  Called with
+   [t.mutex] held; returns with it held. *)
+let drain t b =
+  while b.next < Array.length b.tasks do
+    let i = b.next in
+    b.next <- i + 1;
+    Mutex.unlock t.mutex;
+    b.tasks.(i) ();
+    Mutex.lock t.mutex;
+    b.finished <- b.finished + 1;
+    if b.finished = Array.length b.tasks then begin
+      (match t.batch with Some b' when b' == b -> t.batch <- None | _ -> ());
+      Condition.broadcast t.batch_done
+    end
+  done
+
+let worker t () =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match t.batch with
+    | Some b when b.next < Array.length b.tasks ->
+      drain t b;
+      loop ()
+    | _ ->
+      if not t.stop then begin
+        Condition.wait t.work_available t.mutex;
+        loop ()
+      end
+  in
+  loop ();
+  Mutex.unlock t.mutex
+
+let create ~domains =
+  let domains = max 1 domains in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      batch = None;
+      stop = false;
+      workers = [];
+      domains;
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let map t f xs =
+  if t.domains = 1 then List.map f xs
+  else begin
+    let args = Array.of_list xs in
+    let n = Array.length args in
+    if n = 0 then []
+    else begin
+      let results = Array.make n None in
+      let tasks =
+        Array.init n (fun i ->
+            fun () ->
+              results.(i) <-
+                Some
+                  (match f args.(i) with
+                  | y -> Ok y
+                  | exception e ->
+                    Error (e, Printexc.get_raw_backtrace ())))
+      in
+      let b = { tasks; next = 0; finished = 0 } in
+      Mutex.lock t.mutex;
+      (* Serialize concurrent maps: wait for any in-flight batch. *)
+      while t.batch <> None do
+        Condition.wait t.batch_done t.mutex
+      done;
+      t.batch <- Some b;
+      Condition.broadcast t.work_available;
+      drain t b;
+      while b.finished < n do
+        Condition.wait t.batch_done t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (* Earliest failure in submission order wins, deterministically. *)
+      Array.iter
+        (function
+          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | Some (Ok _) | None -> ())
+        results;
+      Array.to_list
+        (Array.map
+           (function Some (Ok y) -> y | Some (Error _) | None -> assert false)
+           results)
+    end
+  end
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

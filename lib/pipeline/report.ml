@@ -54,6 +54,12 @@ let run ?heur ~name prog inputs =
     equivalent;
   }
 
+let run_many ?pool ?heur jobs =
+  let one (name, prog, inputs) = run ?heur ~name prog inputs in
+  match pool with
+  | Some p -> Cpr_par.Pool.map p one jobs
+  | None -> List.map one jobs
+
 let gmean = function
   | [] -> 1.0
   | xs ->

@@ -25,6 +25,14 @@ val run :
   ?heur:Cpr_core.Heur.t -> name:string -> Prog.t -> Cpr_sim.Equiv.input list
   -> result
 
+val run_many :
+  ?pool:Cpr_par.Pool.t -> ?heur:Cpr_core.Heur.t
+  -> (string * Prog.t * Cpr_sim.Equiv.input list) list -> result list
+(** {!run} over a whole suite.  [?pool] distributes benchmarks across
+    domains; results come back in input order either way, so the two
+    paths print identically.  Do not call from inside a task already
+    running on [pool]. *)
+
 val gmean : float list -> float
 
 val print_table2 : Format.formatter -> result list -> unit

@@ -12,8 +12,21 @@ open Cpr_ir
 val schedule :
   Cpr_machine.Descr.t -> Prog.t -> Cpr_analysis.Liveness.t -> Region.t
   -> Schedule.t
+(** Ready-queue implementation: per-op unplaced-predecessor counters and
+    cycle-keyed release buckets replace the full rescan of the reference
+    scheduler, preserving its greedy policy (and output) exactly. *)
+
+val schedule_reference :
+  Cpr_machine.Descr.t -> Prog.t -> Cpr_analysis.Liveness.t -> Region.t
+  -> Schedule.t
+(** The original rescan-everything scheduler, kept as the equivalence
+    oracle for {!schedule}: both must emit identical cycle arrays on
+    every program.  Quadratic per cycle — use only in tests. *)
 
 val schedule_prog :
-  Cpr_machine.Descr.t -> Prog.t -> (string * Schedule.t) list
+  ?pool:Cpr_par.Pool.t -> Cpr_machine.Descr.t -> Prog.t
+  -> (string * Schedule.t) list
 (** Schedule every region of the program (computing liveness once);
-    association list keyed by region label in layout order. *)
+    association list keyed by region label in layout order.  [?pool]
+    distributes regions across domains (results stay in layout order);
+    do not pass a pool whose worker is executing the caller. *)

@@ -1,0 +1,95 @@
+(* The domain pool: ordering, exception propagation, reuse, stress. *)
+
+open Helpers
+module Pool = Cpr_par.Pool
+
+let sequential_map () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      checki "parallelism" 1 (Pool.domains pool);
+      check
+        Alcotest.(list int)
+        "identity on the sequential path" [ 2; 3; 4 ]
+        (Pool.map pool succ [ 1; 2; 3 ]))
+
+let ordering () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 1000 Fun.id in
+      check
+        Alcotest.(list int)
+        "results in submission order"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map pool (fun x -> x * x) xs))
+
+let empty_and_singleton () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      check Alcotest.(list int) "empty" [] (Pool.map pool succ []);
+      check
+        Alcotest.(list int)
+        "singleton" [ 42 ]
+        (Pool.map pool succ [ 41 ]))
+
+let exception_propagation () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      (match
+         Pool.map pool
+           (fun x ->
+             if x = 7 then failwith "boom7"
+             else if x = 5 then failwith "boom5"
+             else x)
+           (List.init 20 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected the batch to raise"
+      | exception Failure msg ->
+        check Alcotest.string "earliest failing task wins" "boom5" msg);
+      (* The failed batch must leave the pool usable. *)
+      check
+        Alcotest.(list int)
+        "pool reusable after a failed batch" [ 2; 3; 4 ]
+        (Pool.map pool succ [ 1; 2; 3 ]))
+
+let repeated_batches () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      for round = 0 to 24 do
+        let xs =
+          List.init (1 + (round * 7 mod 40)) (fun i -> (round * 100) + i)
+        in
+        check
+          Alcotest.(list int)
+          (Printf.sprintf "round %d" round)
+          (List.map (fun x -> x - 1) xs)
+          (Pool.map pool pred xs)
+      done)
+
+(* Tasks vastly outnumbering domains, with non-uniform cost so claim
+   order genuinely interleaves. *)
+let stress () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let n = 5000 in
+      let f x =
+        let acc = ref x in
+        for _ = 1 to 1 + (x mod 37) do
+          acc := (!acc * 131) land 0xFFFF
+        done;
+        !acc
+      in
+      let xs = List.init n Fun.id in
+      let expect = List.map f xs in
+      check Alcotest.(list int) "5000 tasks on 4 domains" expect
+        (Pool.map pool f xs))
+
+let default_capped () =
+  let d = Pool.default_domains () in
+  checkb "default >= 1" true (d >= 1);
+  checkb "default <= 8" true (d <= 8)
+
+let suite =
+  ( "domain pool",
+    [
+      case "domains=1 is plain map" sequential_map;
+      case "ordering" ordering;
+      case "empty and singleton batches" empty_and_singleton;
+      case "exception propagation and reuse" exception_propagation;
+      case "repeated batches" repeated_batches;
+      case "stress: tasks >> domains" stress;
+      case "default domain count is capped" default_capped;
+    ] )

@@ -110,6 +110,43 @@ let prop_schedules_valid =
             (Prog.regions prog))
         [ M.sequential; M.narrow; M.medium; M.wide; M.infinite ])
 
+(* Equivalence oracle for the ready-queue rewrite: the production
+   scheduler and the kept-for-test reference must emit identical cycle
+   arrays (hence lengths) for every region, on every machine, across the
+   whole workload registry and a fuzz battery. *)
+let oracle_agrees name machine prog =
+  let l = A.Liveness.analyze prog in
+  List.iter
+    (fun (r : Region.t) ->
+      let s_new = S.List_sched.schedule machine prog l r in
+      let s_ref = S.List_sched.schedule_reference machine prog l r in
+      let where =
+        Printf.sprintf "%s/%s/%s" name machine.M.name r.Region.label
+      in
+      checki (where ^ " length") s_ref.S.Schedule.length
+        s_new.S.Schedule.length;
+      check
+        Alcotest.(array int)
+        (where ^ " cycles") s_ref.S.Schedule.cycle s_new.S.Schedule.cycle)
+    (Prog.regions prog)
+
+let oracle_on_workloads () =
+  List.iter
+    (fun (w : Cpr_workloads.Workload.t) ->
+      let prog = w.Cpr_workloads.Workload.build () in
+      List.iter
+        (fun m -> oracle_agrees w.Cpr_workloads.Workload.name m prog)
+        M.all)
+    Cpr_workloads.Registry.all
+
+let oracle_on_fuzz_programs () =
+  for seed = 0 to 199 do
+    let prog = Cpr_workloads.Gen.prog_of_seed seed in
+    List.iter
+      (fun m -> oracle_agrees (Printf.sprintf "seed%d" seed) m prog)
+      M.all
+  done
+
 let suite =
   ( "scheduler",
     [
@@ -120,5 +157,8 @@ let suite =
       case "narrow class limits" narrow_respects_class_limits;
       case "branch issue lookup" branch_issue_lookup;
       case "CPR shortens the wide loop" cpr_code_schedules_shorter_on_wide;
+      case "ready-queue = reference on all workloads" oracle_on_workloads;
+      case "ready-queue = reference on 200 fuzz programs"
+        oracle_on_fuzz_programs;
       QCheck_alcotest.to_alcotest prop_schedules_valid;
     ] )
