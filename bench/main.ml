@@ -202,8 +202,10 @@ let ablation_full_cpr () =
     (fun name ->
       let w = Option.get (W.Registry.find name) in
       let inputs = w.W.Workload.inputs () in
-      let base = P.Passes.baseline (w.W.Workload.build ()) inputs in
-      let icbm = P.Passes.height_reduce (w.W.Workload.build ()) inputs in
+      let base = P.Passes.baseline ~verify:false (w.W.Workload.build ()) inputs in
+      let icbm =
+        P.Passes.height_reduce ~verify:false (w.W.Workload.build ()) inputs
+      in
       let full = Prog.copy base.P.Passes.prog in
       let loop = Prog.find_exn full "Loop" in
       let converted = Cpr_core.Frp.convert_region full loop in
@@ -239,14 +241,17 @@ let ablation_exit_weight () =
     "Inf";
   let w = Option.get (W.Registry.find "strcpy") in
   let inputs = w.W.Workload.inputs () in
-  let base = P.Passes.baseline (w.W.Workload.build ()) inputs in
+  let base = P.Passes.baseline ~verify:false (w.W.Workload.build ()) inputs in
   List.iter
     (fun threshold ->
       let heur =
         { Cpr_core.Heur.default with
           Cpr_core.Heur.exit_weight_threshold = threshold }
       in
-      let red = P.Passes.height_reduce ~heur (w.W.Workload.build ()) inputs in
+      let red =
+        P.Passes.height_reduce ~heur ~verify:false (w.W.Workload.build ())
+          inputs
+      in
       Format.printf "%-12.2f" threshold;
       List.iter
         (fun m ->
@@ -292,10 +297,12 @@ let ablation_per_machine () =
           List.map
             (fun (w : W.Workload.t) ->
               let inputs = w.W.Workload.inputs () in
-              let base = P.Passes.baseline (w.W.Workload.build ()) inputs in
+              let base =
+                P.Passes.baseline ~verify:false (w.W.Workload.build ()) inputs
+              in
               let red =
-                P.Passes.height_reduce ~heur:(pick m) (w.W.Workload.build ())
-                  inputs
+                P.Passes.height_reduce ~heur:(pick m) ~verify:false
+                  (w.W.Workload.build ()) inputs
               in
               P.Perf.speedup
                 ~baseline:(P.Perf.estimate m base.P.Passes.prog)
@@ -345,12 +352,23 @@ let micro_tests =
                      (Op.cmpp_dest_update action ~guard ~cond:true : bool option))
                  [ true; false ])
              [ Op.Un; Op.Uc; Op.On; Op.Oc; Op.An; Op.Ac ]));
-    (* Table 2 artifact: the full pipeline on one benchmark *)
+    (* Table 2 artifact: the full pipeline on one benchmark (transform
+       only; the verifier has its own micro-benchmark below) *)
     Test.make ~name:"table2/pipeline-strcpy"
       (Staged.stage (fun () ->
            let prog = Lazy.force strcpy_prog in
            let inputs = Lazy.force strcpy_inputs in
-           ignore (P.Passes.height_reduce prog inputs : P.Passes.compiled)));
+           ignore
+             (P.Passes.height_reduce ~verify:false prog inputs
+               : P.Passes.compiled)));
+    (* the static verifier itself *)
+    Test.make ~name:"verify/check-program"
+      (Staged.stage
+         (let prog = lazy (prepared_loop ()) in
+          fun () ->
+            ignore
+              (Cpr_verify.Verify.check_program (Lazy.force prog)
+                : Cpr_verify.Verify.report)));
     (* Table 3 artifact: op-count statistics *)
     Test.make ~name:"table3/op-counts"
       (Staged.stage
@@ -520,10 +538,45 @@ let read_prev_micro path =
       (String.split_on_char '\n' s)
   end
 
+(* Single top-level scalar (fixed layout, one pair per line) out of a
+   previous BENCH_latest.json. *)
+let read_prev_scalar path key =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let prefix = Printf.sprintf "\"%s\":" key in
+    let np = String.length prefix in
+    List.find_map
+      (fun line ->
+        let line = String.trim line in
+        if String.length line > np && String.sub line 0 np = prefix then begin
+          let v = String.trim (String.sub line np (String.length line - np)) in
+          let v =
+            if v <> "" && v.[String.length v - 1] = ',' then
+              String.sub v 0 (String.length v - 1)
+            else v
+          in
+          float_of_string_opt v
+        end
+        else None)
+      (String.split_on_char '\n' s)
+  end
+
+let suite_seconds results =
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 results in
+  ( sum (fun (r : P.Report.result) -> r.P.Report.verify_s),
+    sum (fun (r : P.Report.result) -> r.P.Report.total_s) )
+
 let write_json ~dated ~latest results micro par =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n  \"date\": \"%s\",\n" (bench_date ());
+  (if results <> [] then
+     let verify_total, suite_total = suite_seconds results in
+     add "  \"verify_total_s\": %.4f,\n  \"suite_total_s\": %.4f,\n"
+       verify_total suite_total);
   let (s1, sn), (f1, fn) = par in
   add "  \"parallel\": {\n";
   add "    \"domains_requested\": %d,\n" domains;
@@ -549,6 +602,7 @@ let write_json ~dated ~latest results micro par =
       add "      \"op_ratios\": { \"s_tot\": %.4f, \"s_br\": %.4f, \
            \"d_tot\": %.4f, \"d_br\": %.4f },\n"
         r.P.Report.s_tot r.P.Report.s_br r.P.Report.d_tot r.P.Report.d_br;
+      add "      \"verify_s\": %.4f,\n" r.P.Report.verify_s;
       let cycles key l =
         add "      \"%s\": {" key;
         List.iteri
@@ -572,6 +626,7 @@ let write_json ~dated ~latest results micro par =
     (List.sort compare micro);
   add "\n  }\n}\n";
   let prev = read_prev_micro latest in
+  let prev_verify = read_prev_scalar latest "verify_total_s" in
   let contents = Buffer.contents buf in
   List.iter
     (fun path ->
@@ -590,7 +645,13 @@ let write_json ~dated ~latest results micro par =
             (e /. p)
         | _ -> ())
       (List.sort compare micro)
-  end
+  end;
+  match (prev_verify, results) with
+  | Some p, _ :: _ when p > 0. ->
+    let v, _ = suite_seconds results in
+    Format.printf "@.static verifier vs previous: %.3fs -> %.3fs (x%.2f)@." p
+      v (v /. p)
+  | _ -> ()
 
 let () =
   let results =
@@ -598,6 +659,13 @@ let () =
     else begin
       print_table1 ();
       let results = run_suite ~domains () in
+      let verify_total, suite_total = suite_seconds results in
+      Format.printf
+        "@.static verifier: %.2fs across %d workloads (%.1f%% of %.2fs \
+         total suite work)@."
+        verify_total (List.length results)
+        (if suite_total > 0. then 100. *. verify_total /. suite_total else 0.)
+        suite_total;
       print_table2 results;
       print_table3 results;
       print_figure67 ();

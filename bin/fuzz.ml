@@ -33,7 +33,7 @@ let parse_seeds spec =
       Ok (s, s)
     with Failure _ -> Error (`Msg ("bad seed range " ^ spec)))
 
-let run seeds stages_spec shrink out fault_name no_vliw extra_inputs
+let run seeds stages_spec shrink out fault_name no_vliw verify extra_inputs
     max_shrinks quiet domains =
   let lo, hi = seeds in
   let stages =
@@ -53,7 +53,12 @@ let run seeds stages_spec shrink out fault_name no_vliw extra_inputs
              (String.concat ", " (List.map F.Fault.name F.Fault.all))))
   in
   let check =
-    { F.Driver.vliw = not no_vliw; F.Driver.extra_inputs; F.Driver.fault }
+    {
+      F.Driver.vliw = not no_vliw;
+      F.Driver.extra_inputs;
+      F.Driver.fault;
+      F.Driver.verify;
+    }
   in
   let summary = F.Driver.new_summary stages in
   let shrunk = ref 0 in
@@ -152,6 +157,12 @@ let no_vliw_flag =
        & info [ "no-vliw" ]
            ~doc:"Skip the scheduled-VLIW execution agreement oracle.")
 
+let verify_flag =
+  Arg.(value & flag
+       & info [ "verify" ]
+           ~doc:"Run the static verifier on every candidate before the \
+                 simulation oracles (its error findings are failures).")
+
 let extra_inputs_arg =
   Arg.(value & opt int 2
        & info [ "extra-inputs" ] ~docv:"N"
@@ -176,17 +187,17 @@ let () =
   let term =
     Term.(
       const
-        (fun seeds stages shrink out fault no_vliw extra max_shrinks quiet
-             domains ->
+        (fun seeds stages shrink out fault no_vliw verify extra max_shrinks
+             quiet domains ->
           try
-            run seeds stages shrink out fault no_vliw extra max_shrinks quiet
-              domains
+            run seeds stages shrink out fault no_vliw verify extra max_shrinks
+              quiet domains
           with Failure msg ->
             prerr_endline msg;
             2)
       $ seeds_arg $ stages_arg $ shrink_flag $ out_arg $ fault_arg
-      $ no_vliw_flag $ extra_inputs_arg $ max_shrinks_arg $ quiet_flag
-      $ domains_arg)
+      $ no_vliw_flag $ verify_flag $ extra_inputs_arg $ max_shrinks_arg
+      $ quiet_flag $ domains_arg)
   in
   let info =
     Cmd.info "fuzz" ~version:"1.0"

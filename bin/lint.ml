@@ -1,0 +1,175 @@
+(* lint: the static verifier as a command-line tool.
+
+   Three modes, combinable:
+
+     dune exec bin/lint.exe -- --all-workloads
+       run every workload-registry program through every pipeline stage
+       and verify each output (any finding, warning included, fails);
+
+     dune exec bin/lint.exe -- --corpus test/corpus
+       static regression over the shrunk-counterexample corpus: each
+       artifact's transform must verify clean, and each injectable fault
+       (one per historical miscompile class) must be caught by the
+       verifier alone — no simulation oracle runs;
+
+     dune exec bin/lint.exe -- test/corpus/icbm-seed1921.cpr ...
+       the same check for individual artifacts.
+
+   Exit status 0 iff everything verified. *)
+
+module F = Cpr_fuzz
+module V = Cpr_verify
+
+let pp_finding ppf (where, f) =
+  Format.fprintf ppf "%s: %a" where V.Finding.pp f
+
+let lint_workloads stages quiet =
+  let failures = ref 0 in
+  let proved = ref 0 and unknown = ref 0 in
+  List.iter
+    (fun (w : Cpr_workloads.Workload.t) ->
+      let prog = w.Cpr_workloads.Workload.build () in
+      let inputs = w.Cpr_workloads.Workload.inputs () in
+      let prepared = Cpr_pipeline.Passes.prepare prog inputs in
+      List.iter
+        (fun (stage : F.Stage.t) ->
+          let where =
+            Printf.sprintf "%s/%s" w.Cpr_workloads.Workload.name
+              stage.F.Stage.name
+          in
+          match stage.F.Stage.apply prog inputs with
+          | exception e ->
+            incr failures;
+            Format.printf "%s: transform raised: %s@." where
+              (Printexc.to_string e)
+          | after ->
+            let before =
+              if stage.F.Stage.name = "superblock" then
+                Cpr_ir.Prog.copy prog
+              else prepared
+            in
+            let report =
+              V.Verify.check_stage ~stage:stage.F.Stage.name ~before after
+            in
+            proved := !proved + report.V.Verify.stats.V.Finding.proved;
+            unknown := !unknown + report.V.Verify.stats.V.Finding.unknown;
+            (match report.V.Verify.findings with
+            | [] ->
+              if not quiet then Format.printf "%s: ok@." where
+            | fs ->
+              failures := !failures + List.length fs;
+              List.iter
+                (fun f -> Format.printf "%a@." pp_finding (where, f))
+                fs))
+        stages)
+    Cpr_workloads.Registry.all;
+  Format.printf "workloads: %d finding(s), %d proved, %d unknown@." !failures
+    !proved !unknown;
+  !failures = 0
+
+let pp_fault_result ppf = function
+  | F.Static_check.Caught msg -> Format.fprintf ppf "caught (%s)" msg
+  | F.Static_check.Missed -> Format.fprintf ppf "MISSED"
+  | F.Static_check.Inapplicable -> Format.fprintf ppf "inapplicable"
+
+let report_entry quiet path = function
+  | Error msg ->
+    Format.printf "%s: ERROR %s@." path msg;
+    false
+  | Ok r ->
+    let ok = ref true in
+    (match r.F.Static_check.clean with
+    | Ok () -> if not quiet then Format.printf "%s: clean@." path
+    | Error msg ->
+      ok := false;
+      Format.printf "%s: NOT CLEAN: %s@." path msg);
+    List.iter
+      (fun (fault, res) ->
+        (match res with
+        | F.Static_check.Missed -> ok := false
+        | F.Static_check.Caught _ | F.Static_check.Inapplicable -> ());
+        if (not quiet) || res = F.Static_check.Missed then
+          Format.printf "%s: fault %s: %a@." path (F.Fault.name fault)
+            pp_fault_result res)
+      r.F.Static_check.faults;
+    !ok
+
+let lint_corpus dir quiet =
+  let results = F.Static_check.check_dir dir in
+  let ok =
+    List.fold_left
+      (fun acc (path, res) -> report_entry quiet path res && acc)
+      true results
+  in
+  Format.printf "corpus %s: %d artifact(s)%s@." dir (List.length results)
+    (if ok then ", all verified" else "");
+  ok
+
+let lint_files files quiet =
+  List.fold_left
+    (fun acc path ->
+      let res =
+        match F.Corpus.load path with
+        | Error msg -> Error msg
+        | Ok entry -> F.Static_check.check_entry entry
+      in
+      report_entry quiet path res && acc)
+    true files
+
+let run files all_workloads corpus stages_spec quiet =
+  let stages =
+    match F.Stage.parse stages_spec with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  if (not all_workloads) && corpus = None && files = [] then
+    failwith "nothing to lint: pass FILES, --all-workloads or --corpus DIR";
+  let ok = ref true in
+  if files <> [] then ok := lint_files files quiet && !ok;
+  (match corpus with
+  | Some dir -> ok := lint_corpus dir quiet && !ok
+  | None -> ());
+  if all_workloads then ok := lint_workloads stages quiet && !ok;
+  if !ok then 0 else 1
+
+open Cmdliner
+
+let files_arg =
+  Arg.(value & pos_all file []
+       & info [] ~docv:"FILES" ~doc:"Corpus .cpr artifacts to verify.")
+
+let all_workloads_flag =
+  Arg.(value & flag
+       & info [ "all-workloads" ]
+           ~doc:"Verify every workload-registry program after every stage.")
+
+let corpus_arg =
+  Arg.(value & opt (some dir) None
+       & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Static regression over a corpus directory.")
+
+let stages_arg =
+  Arg.(value & opt string "all"
+       & info [ "stages" ] ~docv:"LIST"
+           ~doc:(Printf.sprintf
+                   "Stages for --all-workloads, or $(b,all).  Known stages: \
+                    %s." Cpr_fuzz.Stage.names))
+
+let quiet_flag =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print problems.")
+
+let () =
+  let term =
+    Term.(
+      const (fun files aw corpus stages quiet ->
+          try run files aw corpus stages quiet
+          with Failure msg ->
+            prerr_endline msg;
+            2)
+      $ files_arg $ all_workloads_flag $ corpus_arg $ stages_arg $ quiet_flag)
+  in
+  let info =
+    Cmd.info "lint" ~version:"1.0"
+      ~doc:"Static semantic verifier for control-CPR programs"
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -56,14 +56,21 @@ let add_conj conjs c =
 
 let dnf cs = if List.length cs > max_conjs then Unknown else Dnf cs
 
+(* Constant operands dominate in practice (unguarded ops, straight-line
+   prefixes), so short-circuit them before touching the DNF machinery:
+   the general paths below re-run subsumption over every conjunction. *)
 let or_ a b =
   match (a, b) with
   | Unknown, _ | _, Unknown -> Unknown
+  | Dnf [], x | x, Dnf [] -> x
+  | Dnf [ [] ], _ | _, Dnf [ [] ] -> tru
   | Dnf ca, Dnf cb -> dnf (List.fold_left add_conj ca cb)
 
 let and_ a b =
   match (a, b) with
   | Unknown, _ | _, Unknown -> Unknown
+  | Dnf [ [] ], x | x, Dnf [ [] ] -> x
+  | Dnf [], _ | _, Dnf [] -> fls
   | Dnf ca, Dnf cb ->
     let product =
       List.concat_map

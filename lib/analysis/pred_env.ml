@@ -130,3 +130,14 @@ let path_cond t i j =
   !acc
 
 let fallthrough_expr t = path_cond t 0 (Array.length t.ops)
+
+let path_conds t =
+  let n = Array.length t.ops in
+  let pc = Array.make (n + 1) Pqs.tru in
+  for i = 0 to n - 1 do
+    pc.(i + 1) <-
+      (if Op.is_branch t.ops.(i) then
+         Pqs.and_ pc.(i) (Pqs.not_ (taken_expr t i))
+       else pc.(i))
+  done;
+  pc

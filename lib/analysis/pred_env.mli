@@ -33,6 +33,11 @@ val path_cond : t -> int -> int -> Pqs.t
     started at op [i] reaches op [j], i.e. the conjunction of the negated
     taken-expressions of the branches in [i, j). *)
 
+val path_conds : t -> Pqs.t array
+(** All prefix path conditions at once: [(path_conds t).(i) = path_cond
+    t 0 i].  One linear product instead of a quadratic family — use it
+    whenever more than one prefix of the same region is needed. *)
+
 val fallthrough_expr : t -> Pqs.t
 (** Condition that the region is exited by falling through: no branch
     takes. *)

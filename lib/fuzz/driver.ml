@@ -5,9 +5,11 @@ type check = {
   vliw : bool;
   extra_inputs : int;
   fault : Fault.t option;
+  verify : bool;
 }
 
-let default_check = { vliw = true; extra_inputs = 2; fault = None }
+let default_check =
+  { vliw = true; extra_inputs = 2; fault = None; verify = false }
 
 type outcome =
   | Pass
@@ -44,6 +46,29 @@ let run_prog check (stage : Stage.t) prog inputs =
       match Validate.check candidate with
       | e :: _ -> Fail (Format.asprintf "validation: %a" Validate.pp_error e)
       | [] -> (
+        match
+          if not check.verify then Ok ()
+          else begin
+            (* Pre-simulation oracle: the static verifier alone, against
+               the same pre-transformation program the stage started
+               from ([prepare] is deterministic, so recomputing it here
+               reproduces the stage's input exactly). *)
+            let before =
+              if stage.Stage.name = "superblock" then Prog.copy prog
+              else Cpr_pipeline.Passes.prepare prog inputs
+            in
+            match
+              Cpr_verify.Verify.errors
+                (Cpr_verify.Verify.check_stage ~stage:stage.Stage.name
+                   ~before candidate)
+            with
+            | [] -> Ok ()
+            | f :: _ ->
+              Error (Format.asprintf "verify: %a" Cpr_verify.Finding.pp f)
+          end
+        with
+        | Error e -> Fail e
+        | Ok () -> (
         match Cpr_sim.Equiv.check_many prog candidate inputs with
         | Error e -> Fail ("equivalence: " ^ e)
         | exception Cpr_sim.Interp.Stuck msg ->
@@ -59,7 +84,7 @@ let run_prog check (stage : Stage.t) prog inputs =
             | Error e -> Fail ("vliw: " ^ e)
             | exception Cpr_sim.Vliw.Vliw_error msg -> Fail ("vliw: " ^ msg)
             | exception Cpr_sim.Interp.Stuck msg ->
-              Fail ("vliw interp: " ^ msg)))))
+              Fail ("vliw interp: " ^ msg))))))
 
 let run_stage check stage ~seed =
   run_prog check stage (W.Gen.prog_of_seed seed) (inputs_for check seed)

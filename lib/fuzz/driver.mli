@@ -15,10 +15,15 @@ type check = {
   extra_inputs : int;
       (** seeded inputs added on top of [Gen.inputs_of_seed]'s battery *)
   fault : Fault.t option;  (** miscompile to inject after each transform *)
+  verify : bool;
+      (** run the static verifier ({!Cpr_verify.Verify.check_stage}) on
+          each candidate before any simulation — error findings [Fail]
+          without an oracle run, making the verifier itself subject to
+          the fuzzer's fault-injection validation *)
 }
 
 val default_check : check
-(** VLIW on, 2 extra inputs, no fault. *)
+(** VLIW on, 2 extra inputs, no fault, no static verification. *)
 
 type outcome =
   | Pass

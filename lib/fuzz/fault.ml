@@ -3,17 +3,22 @@ open Cpr_ir
 type t =
   | Skip_compensation
   | Drop_pred_init
+  | Sink_past_dep
 
-let all = [ Skip_compensation; Drop_pred_init ]
+let all = [ Skip_compensation; Drop_pred_init; Sink_past_dep ]
 
 let name = function
   | Skip_compensation -> "skip-comp"
   | Drop_pred_init -> "drop-pred-init"
+  | Sink_past_dep -> "sink-past-dep"
 
 let describe = function
   | Skip_compensation ->
     "empty every compensation (Cmp*) region after the transform"
   | Drop_pred_init -> "remove the Pred_init operations restructure inserts"
+  | Sink_past_dep ->
+    "move an op below an anti-/output-dependent successor (the Set-3 \
+     sinking bug class)"
 
 let of_string s = List.find_opt (fun f -> name f = s) all
 
@@ -35,6 +40,45 @@ let inject fault prog =
               match op.Op.opcode with Op.Pred_init _ -> false | _ -> true)
             r.Region.ops)
       (Prog.regions prog)
+  | Sink_past_dep ->
+    (* Reproduce the offtrace Set-3 bug: take the first (region, i, j)
+       where op j anti-/output-depends on op i, and sink op i to just
+       below op j.  Branches and pbrs keep their place so the region
+       stays structurally valid. *)
+    let movable (op : Op.t) = not (Op.is_branch op || Op.is_pbr op) in
+    let exception Done in
+    (try
+       List.iter
+         (fun (r : Region.t) ->
+           let arr = Array.of_list r.Region.ops in
+           let n = Array.length arr in
+           for i = 0 to n - 1 do
+             if movable arr.(i) then
+               for j = i + 1 to n - 1 do
+                 if
+                   movable arr.(j)
+                   && List.exists
+                        (fun d ->
+                          List.exists (Reg.equal d) (Op.uses arr.(i))
+                          || List.exists (Reg.equal d) (Op.defs arr.(i)))
+                        (Op.defs arr.(j))
+                 then begin
+                   let rest =
+                     List.filteri (fun k _ -> k <> i) (Array.to_list arr)
+                   in
+                   let rec sink k = function
+                     | [] -> [ arr.(i) ]
+                     | x :: tl ->
+                       if k = 0 then x :: arr.(i) :: tl
+                       else x :: sink (k - 1) tl
+                   in
+                   r.Region.ops <- sink (j - 1) rest;
+                   raise Done
+                 end
+               done
+           done)
+         (Prog.regions prog)
+     with Done -> ())
 
 let inject_opt fault prog =
   match fault with None -> () | Some f -> inject f prog

@@ -17,6 +17,10 @@ type t =
   | Drop_pred_init
       (** Remove the [Pred_init] operations restructure places at region
           top, leaving the on-/off-trace FRPs uninitialized. *)
+  | Sink_past_dep
+      (** Move the first op that has an anti-/output-dependent later op
+          in its region to just below that op — the Set-3 sinking bug
+          class (an op reordered past a staying dependent successor). *)
 
 val all : t list
 val name : t -> string

@@ -7,6 +7,7 @@
 
 type error = {
   where : string;  (** region label or "<program>" *)
+  op : int option;  (** offending op id, when one is known *)
   what : string;
 }
 

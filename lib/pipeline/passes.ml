@@ -35,12 +35,34 @@ let prepare prog inputs =
   profile p inputs;
   p
 
-let baseline prog inputs = { prog = prepare prog inputs; icbm = None }
+(* Static verification of one transformation step: raises
+   {!Cpr_verify.Verify.Verify_error} on any error-severity finding and
+   accumulates wall time into [verify_time] (for the <10%-of-suite
+   budget the bench harness tracks). *)
+let verify_stage ?(verify = true) ?verify_time ~stage ~before p =
+  if verify then begin
+    let t0 = Unix.gettimeofday () in
+    (* Superblock formation lays out traces without reordering ops, so
+       the schedule-hazard re-derivation cannot find anything the
+       transformed stages would not also see; skip it there. *)
+    let sched = stage <> "superblock" in
+    Cpr_verify.Verify.check_stage_exn ~sched ~stage ~before p;
+    match verify_time with
+    | Some r -> r := !r +. (Unix.gettimeofday () -. t0)
+    | None -> ()
+  end
 
-let height_reduce ?heur prog inputs =
+let baseline ?verify ?verify_time prog inputs =
   let p = prepare prog inputs in
+  verify_stage ?verify ?verify_time ~stage:"superblock" ~before:prog p;
+  { prog = p; icbm = None }
+
+let height_reduce ?heur ?verify ?verify_time prog inputs =
+  let p = prepare prog inputs in
+  let before = Prog.copy p in
   let stats = Cpr_core.Icbm.run ?heur p in
   Validate.check_exn p;
+  verify_stage ?verify ?verify_time ~stage:"icbm" ~before p;
   profile p inputs;
   { prog = p; icbm = Some stats }
 
@@ -49,31 +71,37 @@ let height_reduce ?heur prog inputs =
    differential fuzzer drives these individually so a miscompile is
    attributed to the narrowest stage that exhibits it. *)
 
-let finish p inputs =
+let finish ?verify ?verify_time ~stage ~before p inputs =
   Validate.check_exn p;
+  verify_stage ?verify ?verify_time ~stage ~before p;
   profile p inputs;
   { prog = p; icbm = None }
 
-let superblock_only prog inputs = baseline prog inputs
+let superblock_only ?verify ?verify_time prog inputs =
+  baseline ?verify ?verify_time prog inputs
 
-let if_convert prog inputs =
+let if_convert ?verify ?verify_time prog inputs =
   let p = prepare prog inputs in
+  let before = Prog.copy p in
   let (_ : Cpr_core.Ifconv.stats) = Cpr_core.Ifconv.convert p in
-  finish p inputs
+  finish ?verify ?verify_time ~stage:"ifconv" ~before p inputs
 
-let frp_convert prog inputs =
+let frp_convert ?verify ?verify_time prog inputs =
   let p = prepare prog inputs in
+  let before = Prog.copy p in
   let (_ : int) = Cpr_core.Frp.convert p in
-  finish p inputs
+  finish ?verify ?verify_time ~stage:"frp" ~before p inputs
 
-let speculate prog inputs =
+let speculate ?verify ?verify_time prog inputs =
   let p = prepare prog inputs in
+  let before = Prog.copy p in
   let (_ : int) = Cpr_core.Frp.convert p in
   let (_ : Cpr_core.Spec.stats) = Cpr_core.Spec.speculate p in
-  finish p inputs
+  finish ?verify ?verify_time ~stage:"spec" ~before p inputs
 
-let full_cpr prog inputs =
+let full_cpr ?verify ?verify_time prog inputs =
   let p = prepare prog inputs in
+  let before = Prog.copy p in
   List.iter
     (fun (r : Region.t) ->
       if Cpr_core.Frp.convert_region p r then begin
@@ -81,13 +109,14 @@ let full_cpr prog inputs =
         ignore (Cpr_core.Fullcpr.transform_region p r : bool)
       end)
     (Prog.regions p);
-  finish p inputs
+  finish ?verify ?verify_time ~stage:"fullcpr" ~before p inputs
 
-let unroll ?(factor = 2) prog inputs =
+let unroll ?(factor = 2) ?verify ?verify_time prog inputs =
   let p = prepare prog inputs in
+  let before = Prog.copy p in
   List.iter
     (fun (r : Region.t) ->
       if Cpr_core.Unroll.unrollable p r then
         ignore (Cpr_core.Unroll.unroll_region p r ~factor : bool))
     (Prog.regions p);
-  finish p inputs
+  finish ?verify ?verify_time ~stage:"unroll" ~before p inputs

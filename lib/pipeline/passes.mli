@@ -22,11 +22,22 @@ val prepare : Prog.t -> Cpr_sim.Equiv.input list -> Prog.t
     (tail-duplicating join points), prune unreachable regions, and
     re-profile — the IMPACT role; both compiled codes start here. *)
 
-val baseline : Prog.t -> Cpr_sim.Equiv.input list -> compiled
-(** {!prepare} only; the input program is untouched. *)
+val baseline :
+  ?verify:bool -> ?verify_time:float ref -> Prog.t
+  -> Cpr_sim.Equiv.input list -> compiled
+(** {!prepare} only; the input program is untouched.
+
+    Every entry point statically verifies its own output by default
+    ([verify] defaults to [true]): the {!Cpr_verify} lint plus per-stage
+    translation validation against the pre-transformation program, with
+    error findings raised as {!Cpr_verify.Verify.Verify_error}.  Pass
+    [~verify:false] to skip (micro-benchmarks; drivers that verify
+    separately), and [~verify_time] to accumulate the wall time spent
+    verifying. *)
 
 val height_reduce :
-  ?heur:Cpr_core.Heur.t -> Prog.t -> Cpr_sim.Equiv.input list -> compiled
+  ?heur:Cpr_core.Heur.t -> ?verify:bool -> ?verify_time:float ref -> Prog.t
+  -> Cpr_sim.Equiv.input list -> compiled
 (** Full pipeline on a fresh copy: profile, FRP-convert, ICBM, validate,
     re-profile.  Raises [Invalid_argument] if the transformed program
     fails structural validation. *)
@@ -40,22 +51,34 @@ val height_reduce :
     are also convenient for ablation benches.  All raise
     [Invalid_argument] on a validation failure, like {!height_reduce}. *)
 
-val superblock_only : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+val superblock_only :
+  ?verify:bool -> ?verify_time:float ref -> Prog.t
+  -> Cpr_sim.Equiv.input list -> compiled
 (** Alias of {!baseline}: superblock formation is the whole stage. *)
 
-val if_convert : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+val if_convert :
+  ?verify:bool -> ?verify_time:float ref -> Prog.t
+  -> Cpr_sim.Equiv.input list -> compiled
 (** {!prepare} + classic if-conversion of unbiased side exits. *)
 
-val frp_convert : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+val frp_convert :
+  ?verify:bool -> ?verify_time:float ref -> Prog.t
+  -> Cpr_sim.Equiv.input list -> compiled
 (** {!prepare} + FRP conversion of every region. *)
 
-val speculate : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+val speculate :
+  ?verify:bool -> ?verify_time:float ref -> Prog.t
+  -> Cpr_sim.Equiv.input list -> compiled
 (** {!prepare} + FRP conversion + predicate speculation. *)
 
-val full_cpr : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+val full_cpr :
+  ?verify:bool -> ?verify_time:float ref -> Prog.t
+  -> Cpr_sim.Equiv.input list -> compiled
 (** {!prepare} + per-region FRP conversion, speculation and the full
     (redundant) CPR scheme of Schlansker & Kathail. *)
 
-val unroll : ?factor:int -> Prog.t -> Cpr_sim.Equiv.input list -> compiled
+val unroll :
+  ?factor:int -> ?verify:bool -> ?verify_time:float ref -> Prog.t
+  -> Cpr_sim.Equiv.input list -> compiled
 (** {!prepare} + unrolling of every unrollable self-loop ([factor]
     default 2). *)

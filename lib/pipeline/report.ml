@@ -12,11 +12,15 @@ type result = {
   reduced_cycles : (string * int) list;
   icbm : Cpr_core.Icbm.region_stats;
   equivalent : (unit, string) Result.t;
+  verify_s : float;
+  total_s : float;
 }
 
 let run ?heur ~name prog inputs =
-  let base = Passes.baseline prog inputs in
-  let reduced = Passes.height_reduce ?heur prog inputs in
+  let t0 = Unix.gettimeofday () in
+  let verify_time = ref 0.0 in
+  let base = Passes.baseline ~verify_time prog inputs in
+  let reduced = Passes.height_reduce ?heur ~verify_time prog inputs in
   let equivalent =
     Cpr_sim.Equiv.check_many base.Passes.prog reduced.Passes.prog inputs
   in
@@ -52,6 +56,8 @@ let run ?heur ~name prog inputs =
       | Some s -> s
       | None -> Cpr_core.Icbm.zero_stats);
     equivalent;
+    verify_s = !verify_time;
+    total_s = Unix.gettimeofday () -. t0;
   }
 
 let run_many ?pool ?heur jobs =

@@ -19,6 +19,13 @@ type result = {
   reduced_cycles : (string * int) list;
   icbm : Cpr_core.Icbm.region_stats;
   equivalent : (unit, string) Result.t;
+  verify_s : float;
+      (** wall time the static verifier spent on this benchmark (both
+          compiled codes); tracked by [bench --json] against its
+          <10%-of-suite budget *)
+  total_s : float;
+      (** wall time of the whole [run] for this benchmark — compilation,
+          verification, equivalence oracle and performance estimation *)
 }
 
 val run :

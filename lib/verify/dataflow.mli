@@ -1,0 +1,60 @@
+open Cpr_ir
+
+(** Predicate-aware dataflow lint over a single program.
+
+    Checks (reachable regions only):
+    - [pred-undef] / [btr-undef] (errors): a use of a predicate or branch
+      target register whose use condition is provably disjoint from its
+      definedness condition — the register is undefined on {e every}
+      execution that reaches the use.  Definedness is tracked as a {!Pqs}
+      expression per region ([Un]/[Uc] compare destinations and unguarded
+      [Pred_init] define unconditionally; guarded writes and accumulator
+      fires define under their guard expression); registers that are
+      may-defined on region entry, or never defined anywhere (program
+      inputs), count as defined.
+    - [gpr-undef] (warning): plain boolean use-before-def for data
+      registers, same entry/input conventions.
+    - [dead-pbr] (warning): a [pbr] whose btr is never read by any branch
+      in a reachable region.
+    - [unreachable-guard] (warning): an op whose guard expression is
+      provably constant false — dead code under every input.
+    - [comp-coverage] (error): for a bypass branch into a compensation
+      region whose fallthrough is {!Cpr_core.Restructure.unreachable_label},
+      prove that taking the bypass implies one of the compensation
+      branches takes; a satisfiable path to the unreachable label is the
+      classic "bypass without compensation" miscompile. *)
+
+val lint :
+  ?only_checks:string list -> stats:Finding.stats -> Prog.t
+  -> Finding.t list
+(** [only_checks] restricts the lint to the named checks (as they appear
+    in {!Finding.t}[.check]); the baseline-subtraction pass of
+    {!Verify.check_stage} uses it to re-check the stage input against
+    only the check kinds its output actually reported. *)
+
+type verdict =
+  | Undefined  (** reported: use provably disjoint from definedness *)
+  | Proved  (** use condition implies definedness *)
+  | Unknown
+
+type query = {
+  region : string;
+  op_id : int;
+  reg : Reg.t;
+  use : Cpr_analysis.Pqs.t;  (** condition under which the use executes *)
+  defined : Cpr_analysis.Pqs.t;  (** condition under which the register
+                                     is defined at that point *)
+  verdict : verdict;
+}
+
+val queries : Prog.t -> query list
+(** Every predicate/btr use-before-def query {!lint} poses, with both
+    sides of the Pqs comparison — the hook the soundness property tests
+    brute-force with {!Cpr_analysis.Pqs.eval}. *)
+
+val reachable_labels : Prog.t -> (string, unit) Hashtbl.t
+(** Region labels reachable from the program entry (exit labels
+    excluded); shared with the translation validator. *)
+
+val reachable_regions : Prog.t -> Region.t list
+(** The regions behind {!reachable_labels}, in layout order. *)

@@ -1,0 +1,38 @@
+type severity =
+  | Error
+  | Warning
+
+type t = {
+  check : string;
+  severity : severity;
+  region : string;
+  op : int option;
+  subject : string;
+  msg : string;
+}
+
+type stats = {
+  mutable proved : int;
+  mutable unknown : int;
+}
+
+let new_stats () = { proved = 0; unknown = 0 }
+
+let make ~check ~severity ~region ?op ?(subject = "") msg =
+  { check; severity; region; op; subject; msg }
+
+let is_error f = f.severity = Error
+
+let key ~resolve_op f =
+  Printf.sprintf "%s|%s|%d" f.check f.subject
+    (match f.op with Some id -> resolve_op id | None -> -1)
+
+let pp ppf f =
+  Format.fprintf ppf "%s %s [%s]%t: %s"
+    (match f.severity with Error -> "error" | Warning -> "warning")
+    f.check f.region
+    (fun ppf ->
+      match f.op with
+      | Some id -> Format.fprintf ppf " op %d" id
+      | None -> ())
+    f.msg

@@ -1,0 +1,43 @@
+(** Findings reported by the static verifier.
+
+    A finding names the check that produced it, the region and (when
+    known) the op it is anchored at, and a [subject] — the register or
+    label the finding is about — used to build keys that stay stable
+    across a transformation (op ids are normalized through [Op.orig]
+    before keys are compared). *)
+
+type severity =
+  | Error  (** provable miscompile: fails lint, raises in [Passes] *)
+  | Warning  (** suspicious but not provably wrong *)
+
+type t = {
+  check : string;  (** short check name, e.g. ["pred-undef"] *)
+  severity : severity;
+  region : string;
+  op : int option;
+  subject : string;  (** register / label the finding concerns *)
+  msg : string;
+}
+
+type stats = {
+  mutable proved : int;
+      (** queries the predicate analysis settled positively *)
+  mutable unknown : int;
+      (** queries that degraded to "cannot prove" (no finding emitted) *)
+}
+
+val new_stats : unit -> stats
+
+val make :
+  check:string -> severity:severity -> region:string -> ?op:int
+  -> ?subject:string -> string -> t
+
+val is_error : t -> bool
+
+val key : resolve_op:(int -> int) -> t -> string
+(** Stable identity of a finding across a transformation: check name,
+    subject and the op id after [resolve_op] (callers pass the
+    [Op.orig]-chasing normalizer).  The region label is deliberately
+    excluded — transformations rename and merge regions. *)
+
+val pp : Format.formatter -> t -> unit

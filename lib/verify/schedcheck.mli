@@ -1,0 +1,24 @@
+open Cpr_ir
+
+(** EQ-model schedule hazard check.
+
+    Re-derives the dependence graph of every reachable region from
+    scratch ({!Cpr_analysis.Depgraph.build}), schedules the region with
+    the production list scheduler and asserts the result respects every
+    edge and the machine's per-cycle resources
+    ({!Cpr_sched.Schedule.check}).  On top of the edge check it scans
+    for same-completion-cycle write-after-write hazards: two operations
+    whose destinations overlap, whose completion cycles
+    ([issue + latency]) coincide and whose execution conditions are not
+    provably disjoint race in the EQ model — the bug class of a sinking
+    transformation that forgets an output dependence, caught without a
+    witness input.  Wired-or / wired-and [cmpp] destinations of the same
+    wiring class are unordered by construction and excluded.
+
+    Checks: [sched] (error, one per {!Cpr_sched.Schedule.check}
+    violation), [sched-waw] (error). *)
+
+val check :
+  ?machine:Cpr_machine.Descr.t -> stats:Finding.stats -> Prog.t
+  -> Finding.t list
+(** [machine] defaults to {!Cpr_machine.Descr.medium}. *)

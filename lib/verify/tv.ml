@@ -1,0 +1,392 @@
+open Cpr_ir
+module Pqs = Cpr_analysis.Pqs
+module Pred_env = Cpr_analysis.Pred_env
+module Depgraph = Cpr_analysis.Depgraph
+module Liveness = Cpr_analysis.Liveness
+
+type config = {
+  check_branches : bool;
+  check_store_guard : bool;
+}
+
+(* ifconv deletes the branches it converts (and fullpipe contains
+   ifconv); the FRP stages must leave store execution conditions exactly
+   the original path conditions, so only they get tv-store-guard. *)
+let config_of_stage = function
+  | "ifconv" | "fullpipe" ->
+    { check_branches = false; check_store_guard = false }
+  | "frp" | "spec" | "fullcpr" | "icbm" ->
+    { check_branches = true; check_store_guard = true }
+  | _ -> { check_branches = true; check_store_guard = false }
+
+(* ------------------------------------------------------------------ *)
+(* Instance matching.                                                  *)
+
+type instance = {
+  label : string;
+  idx : int;  (** position within the region's op list *)
+  op : Op.t;
+}
+
+type index = {
+  by_id : (int, instance list) Hashtbl.t;
+  by_orig : (int, instance list) Hashtbl.t;
+}
+
+let build_index regions =
+  let by_id = Hashtbl.create 64 in
+  let by_orig = Hashtbl.create 64 in
+  let push tbl k v =
+    Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  List.iter
+    (fun (r : Region.t) ->
+      List.iteri
+        (fun idx (op : Op.t) ->
+          let inst = { label = r.Region.label; idx; op } in
+          push by_id op.Op.id inst;
+          match op.Op.orig with
+          | Some o -> push by_orig o inst
+          | None -> ())
+        r.Region.ops)
+    regions;
+  { by_id; by_orig }
+
+let instances index id =
+  Option.value ~default:[] (Hashtbl.find_opt index.by_id id)
+  @ Option.value ~default:[] (Hashtbl.find_opt index.by_orig id)
+
+(* One-step orig resolution over the whole output program, for
+   normalizing output Pqs condition literals onto input op ids. *)
+let orig_map prog =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Region.t) ->
+      List.iter
+        (fun (op : Op.t) ->
+          match op.Op.orig with
+          | Some o -> Hashtbl.replace tbl op.Op.id o
+          | None -> ())
+        r.Region.ops)
+    (Prog.regions prog);
+  tbl
+
+(* ------------------------------------------------------------------ *)
+
+let reachable_exit_labels prog =
+  let reach = Dataflow.reachable_labels prog in
+  let s = Hashtbl.create 7 in
+  Hashtbl.iter
+    (fun l () ->
+      match Prog.find prog l with
+      | Some r ->
+        List.iter
+          (fun succ -> if Prog.is_exit prog succ then Hashtbl.replace s succ ())
+          (Region.successors r)
+      | None -> ())
+    reach;
+  s
+
+(* Is [target] reachable from label [l] in [prog] (following region
+   successors; exit labels only match directly)? *)
+let label_reaches prog l target =
+  let seen = Hashtbl.create 17 in
+  let rec go l =
+    l = target
+    || (not (Hashtbl.mem seen l))
+       && begin
+            Hashtbl.replace seen l ();
+            match Prog.find prog l with
+            | None -> false
+            | Some r -> List.exists go (Region.successors r)
+          end
+  in
+  go l
+
+let validate ?(machine = Cpr_machine.Descr.medium) ~stats ~stage ~before
+    after =
+  let cfg = config_of_stage stage in
+  let findings = ref [] in
+  let add ~check ~region ?op ?subject msg =
+    findings :=
+      Finding.make ~check ~severity:Finding.Error ~region ?op ?subject msg
+      :: !findings
+  in
+  let before_regions = Dataflow.reachable_regions before in
+  let after_regions = Dataflow.reachable_regions after in
+  let index = build_index after_regions in
+  let origs = orig_map after in
+  let resolve id = Option.value ~default:id (Hashtbl.find_opt origs id) in
+  (* tv-exit *)
+  let after_exits = reachable_exit_labels after in
+  Hashtbl.iter
+    (fun l () ->
+      if not (Hashtbl.mem after_exits l) then
+        add ~check:"tv-exit" ~region:l ~subject:l
+          (Printf.sprintf
+             "program exit %s is reachable before the transformation but \
+              not after"
+             l))
+    (reachable_exit_labels before);
+  (* tv-store / tv-liveout: instance existence *)
+  let live_out =
+    List.fold_left
+      (fun acc r -> Reg.Set.add r acc)
+      Reg.Set.empty before.Prog.live_out
+  in
+  List.iter
+    (fun (r : Region.t) ->
+      List.iter
+        (fun (op : Op.t) ->
+          let missing () = instances index op.Op.id = [] in
+          if Op.is_store op && missing () then
+            add ~check:"tv-store" ~region:r.Region.label ~op:op.Op.id
+              (Printf.sprintf "store %d has no instance in the output"
+                 op.Op.id)
+          else if
+            List.exists (fun d -> Reg.Set.mem d live_out) (Op.defs op)
+            && missing ()
+          then
+            add ~check:"tv-liveout" ~region:r.Region.label ~op:op.Op.id
+              ~subject:
+                (String.concat ","
+                   (List.map Reg.to_string
+                      (List.filter
+                         (fun d -> Reg.Set.mem d live_out)
+                         (Op.defs op))))
+              (Printf.sprintf
+                 "definition %d of a live-out register has no instance in \
+                  the output"
+                 op.Op.id))
+        r.Region.ops)
+    before_regions;
+  (* tv-branch *)
+  if cfg.check_branches then
+    List.iter
+      (fun (r : Region.t) ->
+        List.iter
+          (fun (bop : Op.t) ->
+            match Region.branch_target r bop with
+            | None -> ()
+            | Some target ->
+              let succs = Region.successors r in
+              let preserved inst =
+                match Prog.find after inst.label with
+                | None -> false
+                | Some p -> (
+                  match Region.branch_target p inst.op with
+                  | None -> false
+                  | Some t ->
+                    t = target
+                    || label_reaches after t target
+                    || List.mem t succs)
+              in
+              let insts =
+                List.filter
+                  (fun i -> Op.is_branch i.op)
+                  (instances index bop.Op.id)
+              in
+              if not (List.exists preserved insts) then
+                add ~check:"tv-branch" ~region:r.Region.label ~op:bop.Op.id
+                  ~subject:target
+                  (Printf.sprintf
+                     "no instance of branch %d still reaches its target %s"
+                     bop.Op.id target))
+          (Region.branches r))
+      before_regions;
+  (* tv-order *)
+  let live = Liveness.analyze before in
+  let dep_still_real kind xs ys =
+    match kind with
+    | Depgraph.Flow reg ->
+      List.exists (fun i -> List.exists (Reg.equal reg) (Op.defs i.op)) xs
+      && List.exists (fun i -> List.exists (Reg.equal reg) (Op.uses i.op)) ys
+    | Depgraph.Anti reg ->
+      List.exists (fun i -> List.exists (Reg.equal reg) (Op.uses i.op)) xs
+      && List.exists (fun i -> List.exists (Reg.equal reg) (Op.defs i.op)) ys
+    | Depgraph.Output reg ->
+      List.exists (fun i -> List.exists (Reg.equal reg) (Op.defs i.op)) xs
+      && List.exists (fun i -> List.exists (Reg.equal reg) (Op.defs i.op)) ys
+    | Depgraph.Mem_flow | Depgraph.Mem_anti | Depgraph.Mem_output ->
+      List.exists (fun i -> Op.is_mem i.op) xs
+      && List.exists (fun i -> Op.is_mem i.op) ys
+    | Depgraph.Ctrl | Depgraph.Exit_live _ | Depgraph.Br_anticipation ->
+      false
+  in
+  List.iter
+    (fun (r : Region.t) ->
+      if r.Region.ops <> [] then begin
+        let dg = Depgraph.build machine before live r in
+        List.iter
+          (fun (e : Depgraph.edge) ->
+            match e.Depgraph.kind with
+            | Depgraph.Ctrl | Depgraph.Exit_live _
+            | Depgraph.Br_anticipation ->
+              ()
+            | kind -> (
+              let x = Depgraph.op dg e.Depgraph.src in
+              let y = Depgraph.op dg e.Depgraph.dst in
+              let xi = instances index x.Op.id in
+              let yi = instances index y.Op.id in
+              match (xi, yi) with
+              | [], _ | _, [] -> ()
+              | _ ->
+                (* instances co-located in one output region must keep
+                   at least one source before some destination; only
+                   labels hosting instances of both ends can matter *)
+                let labels =
+                  List.sort_uniq String.compare
+                    (List.filter
+                       (fun l -> List.exists (fun i -> i.label = l) yi)
+                       (List.map (fun (i : instance) -> i.label) xi))
+                in
+                List.iter
+                  (fun label ->
+                    let here insts =
+                      List.filter (fun i -> i.label = label) insts
+                    in
+                    let xs = here xi and ys = here yi in
+                    if
+                      xs <> [] && ys <> []
+                      && dep_still_real kind xs ys
+                      && List.for_all
+                           (fun xinst ->
+                             List.for_all
+                               (fun yinst -> xinst.idx > yinst.idx)
+                               ys)
+                           xs
+                    then
+                      (* Copies of different unroll iterations can land
+                         in one compensation region with the later
+                         iteration's source after the earlier
+                         iteration's destination — a pairing the
+                         intra-iteration edge does not constrain.  Ids
+                         record creation order, so a genuine inversion
+                         keeps some source id below a destination id;
+                         cross-generation pairings reverse all of them
+                         and degrade to unknown instead. *)
+                      let min_id insts =
+                        List.fold_left
+                          (fun acc i -> min acc i.op.Op.id)
+                          max_int insts
+                      in
+                      let max_id insts =
+                        List.fold_left
+                          (fun acc i -> max acc i.op.Op.id)
+                          min_int insts
+                      in
+                      if min_id xs > max_id ys then
+                        stats.Finding.unknown <- stats.Finding.unknown + 1
+                      else
+                        add ~check:"tv-order" ~region:label ~op:y.Op.id
+                          ~subject:
+                            (Format.asprintf "%d->%d" x.Op.id y.Op.id)
+                          (Printf.sprintf
+                             "dependence %d -> %d of input region %s is \
+                              inverted in output region %s"
+                             x.Op.id y.Op.id r.Region.label label))
+                  labels))
+          (Depgraph.edges dg)
+      end)
+    before_regions;
+  (* tv-store-guard *)
+  if cfg.check_store_guard then begin
+    let norm = function
+      | Pqs.Cond id -> Pqs.Cond (resolve id)
+      | Pqs.Entry _ as k -> k
+    in
+    let after_envs = Hashtbl.create 7 in
+    let env_of (label : string) (r : Region.t) =
+      match Hashtbl.find_opt after_envs label with
+      | Some e -> e
+      | None ->
+        let env = Pred_env.analyze r in
+        let e = (env, Pred_env.path_conds env) in
+        Hashtbl.replace after_envs label e;
+        e
+    in
+    List.iter
+      (fun (r : Region.t) ->
+        let env_b = Pred_env.analyze r in
+        let pc_b = lazy (Pred_env.path_conds env_b) in
+        List.iteri
+          (fun i (op : Op.t) ->
+            if Op.is_store op then begin
+              let same_id =
+                List.filter
+                  (fun inst -> inst.op.Op.id = op.Op.id)
+                  (Option.value ~default:[]
+                     (Hashtbl.find_opt index.by_id op.Op.id))
+              in
+              List.iter
+                (fun inst ->
+                  match Prog.find after inst.label with
+                  | None -> ()
+                  | Some p ->
+                    let env_a, pc_a = env_of inst.label p in
+                    let eb =
+                      Pqs.and_
+                        (Lazy.force pc_b).(i)
+                        (Pred_env.guard_expr env_b i)
+                    in
+                    let ea =
+                      Pqs.and_ pc_a.(inst.idx)
+                        (Pred_env.guard_expr env_a inst.idx)
+                    in
+                    let keys_b = List.sort_uniq compare (Pqs.keys eb) in
+                    let keys_a =
+                      List.sort_uniq compare (List.map norm (Pqs.keys ea))
+                    in
+                    if
+                      Pqs.is_unknown eb || Pqs.is_unknown ea
+                      || keys_b <> keys_a
+                      || List.length keys_b > 12
+                    then stats.Finding.unknown <- stats.Finding.unknown + 1
+                    else begin
+                      let arr = Array.of_list keys_b in
+                      let n = Array.length arr in
+                      let lookup mask k =
+                        let rec find j =
+                          if j >= n then false
+                          else if arr.(j) = k then mask land (1 lsl j) <> 0
+                          else find (j + 1)
+                        in
+                        find 0
+                      in
+                      let witness = ref None in
+                      let undecided = ref false in
+                      let mask = ref 0 in
+                      while !witness = None && (not !undecided)
+                            && !mask < 1 lsl n do
+                        let sigma = lookup !mask in
+                        (match
+                           ( Pqs.eval sigma eb,
+                             Pqs.eval (fun k -> sigma (norm k)) ea )
+                         with
+                        | Some a, Some b when a <> b -> witness := Some !mask
+                        | Some _, Some _ -> ()
+                        | None, _ | _, None -> undecided := true);
+                        incr mask
+                      done;
+                      if !undecided then
+                        stats.Finding.unknown <- stats.Finding.unknown + 1
+                      else
+                        match !witness with
+                        | None ->
+                          stats.Finding.proved <- stats.Finding.proved + 1
+                        | Some m ->
+                          add ~check:"tv-store-guard"
+                            ~region:inst.label ~op:op.Op.id
+                            (Format.asprintf
+                               "store %d executes under a different \
+                                condition after the transformation \
+                                (witness assignment %d: before %a, after \
+                                %a)"
+                               op.Op.id m Pqs.pp eb Pqs.pp ea)
+                    end)
+                same_id
+            end)
+          r.Region.ops)
+      before_regions
+  end;
+  List.rev !findings

@@ -1,0 +1,53 @@
+open Cpr_ir
+
+(** Per-stage translation validation.
+
+    Matches a transformed program against its input through op identity:
+    an operation of the input is {e instantiated} in the output by the op
+    with the same id (in-place transformation) and by every op whose
+    [orig] field points at it (copies made by tail duplication,
+    if-conversion inlining, unrolling, lookahead insertion, off-trace
+    splitting).  On that matching the validator proves, per stage:
+
+    - [tv-exit] (error): every program exit label reachable in the input
+      is still reachable in the output — a transformation must not lose a
+      way out of the program.
+    - [tv-store] (error): every store of a reachable input region has at
+      least one instance — the "emitted the bypass, forgot the off-trace
+      code" miscompile deletes instances wholesale.
+    - [tv-liveout] (error): every definition of a program live-out
+      register in a reachable input region has at least one instance.
+    - [tv-branch] (error): every exit branch of a reachable input region
+      has an instance that still targets the original label, targets a
+      region from which that label is reachable (bypass/compensation
+      indirection), or targets a static successor of the original region
+      (condition-inverted loop exits of unrolling).  Disabled for
+      if-conversion, whose whole point is deleting converted branches.
+    - [tv-order] (error): for every register/memory dependence edge of a
+      reachable input region, instances placed in a common output region
+      must not have {e all} sources after {e all} destinations — the
+      sunk-past-a-dependence bug class, checked when the dependence is
+      still real on the instances (off-trace rewiring may retire it).
+    - [tv-store-guard] (error): for a store present under the same id on
+      both sides, the execution conditions (path condition conjoined with
+      the guard expression) are compared as {!Cpr_analysis.Pqs}
+      expressions — output condition literals are normalized through
+      [orig] onto input literals, and when the literal bases coincide the
+      two expressions are brute-force enumerated; a differing assignment
+      is a proven guard change on a store, which no stage may make.
+      Enabled for the FRP-based stages ([frp], [spec], [fullcpr],
+      [icbm]), where store guards must be exactly the original path
+      conditions.
+
+    Checks that cannot decide (instances missing, literal bases that do
+    not line up, expressions past the enumeration cap) count as
+    [unknown] in the stats rather than reporting. *)
+
+val validate :
+  ?machine:Cpr_machine.Descr.t -> stats:Finding.stats -> stage:string
+  -> before:Prog.t -> Prog.t -> Finding.t list
+(** [validate ~stats ~stage ~before after].  [stage] is a
+    {!Cpr_fuzz.Stage} name ([ifconv], [frp], [spec], [unroll],
+    [fullcpr], [icbm], [fullpipe]); unknown names get every check except
+    [tv-store-guard].  [machine] (default {!Cpr_machine.Descr.medium})
+    only affects dependence-graph construction for [tv-order]. *)

@@ -1,0 +1,95 @@
+open Cpr_ir
+
+type report = {
+  findings : Finding.t list;
+  stats : Finding.stats;
+}
+
+let check_program ?machine ?(sched = true) ?only_checks prog =
+  let stats = Finding.new_stats () in
+  let findings = Dataflow.lint ?only_checks ~stats prog in
+  let sched =
+    sched
+    &&
+    match only_checks with
+    | None -> true
+    | Some cs -> List.mem "sched" cs || List.mem "sched-waw" cs
+  in
+  let findings =
+    if sched then findings @ Schedcheck.check ?machine ~stats prog
+    else findings
+  in
+  { findings; stats }
+
+let errors r = List.filter Finding.is_error r.findings
+
+let check_stage ?machine ?sched ~stage ~before after =
+  let aft = check_program ?machine ?sched after in
+  (* Baseline subtraction only matters when the output has findings at
+     all, so the input program is checked lazily: in the common
+     all-clean case the input check is skipped entirely (the report's
+     stats are the output's either way). *)
+  let fresh =
+    match aft.findings with
+    | [] -> []
+    | aft_findings ->
+      (* The base run only exists to subtract same-kind findings
+         (Finding.key starts with the check name), so restrict it to the
+         check kinds the output actually reported — typically a handful
+         of warnings, far cheaper than a full re-lint. *)
+      let wanted =
+        List.sort_uniq compare
+          (List.map (fun f -> f.Finding.check) aft_findings)
+      in
+      let base = check_program ?machine ?sched ~only_checks:wanted before in
+      (* Key the input's findings with the identity resolver (its ops are
+         the originals) and the output's through one-step [orig] chasing,
+         so a finding inherited from the input doesn't re-report just
+         because the op carrying it was copied. *)
+      let origs = Hashtbl.create 64 in
+      List.iter
+        (fun (r : Region.t) ->
+          List.iter
+            (fun (op : Op.t) ->
+              match op.Op.orig with
+              | Some o -> Hashtbl.replace origs op.Op.id o
+              | None -> ())
+            r.Region.ops)
+        (Prog.regions after);
+      let resolve id =
+        Option.value ~default:id (Hashtbl.find_opt origs id)
+      in
+      let base_keys = Hashtbl.create 17 in
+      List.iter
+        (fun f ->
+          Hashtbl.replace base_keys
+            (Finding.key ~resolve_op:(fun id -> id) f)
+            ())
+        base.findings;
+      List.filter
+        (fun f ->
+          not (Hashtbl.mem base_keys (Finding.key ~resolve_op:resolve f)))
+        aft_findings
+  in
+  let tv =
+    match stage with
+    | "superblock" | "baseline" -> []
+    | _ -> Tv.validate ?machine ~stats:aft.stats ~stage ~before after
+  in
+  { findings = fresh @ tv; stats = aft.stats }
+
+exception Verify_error of Finding.t list
+
+let () =
+  Printexc.register_printer (function
+    | Verify_error fs ->
+      Some
+        (Format.asprintf "Verify_error:@,%a"
+           (Format.pp_print_list Finding.pp)
+           fs)
+    | _ -> None)
+
+let check_stage_exn ?machine ?sched ~stage ~before after =
+  match errors (check_stage ?machine ?sched ~stage ~before after) with
+  | [] -> ()
+  | errs -> raise (Verify_error errs)

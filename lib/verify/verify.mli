@@ -1,0 +1,48 @@
+open Cpr_ir
+
+(** Entry points of the static verifier.
+
+    Two layers share the {!Finding} vocabulary: {!check_program} runs
+    the single-program checks (the predicate-aware dataflow lint of
+    {!Dataflow} and the EQ-model schedule hazard re-derivation of
+    {!Schedcheck}); {!check_stage} additionally runs the per-stage
+    translation validation of {!Tv} against the stage's input program,
+    and subtracts findings already present in the input (keyed through
+    {!Finding.key} with op ids normalized through [orig]) so that
+    replaying a shrunk reproducer whose input is already suspicious only
+    reports what the stage {e introduced}.
+
+    The verifier never simulates: no {!Cpr_sim} oracle runs, no witness
+    inputs.  Everything it reports is established by predicate algebra,
+    dependence re-derivation or instance matching alone. *)
+
+type report = {
+  findings : Finding.t list;
+  stats : Finding.stats;
+}
+
+val check_program :
+  ?machine:Cpr_machine.Descr.t -> ?sched:bool -> ?only_checks:string list
+  -> Prog.t -> report
+(** Dataflow lint plus (unless [sched:false]) schedule hazard checks.
+    [machine] defaults to {!Cpr_machine.Descr.medium}; [only_checks]
+    restricts the run to the named checks, see {!Dataflow.lint}. *)
+
+val check_stage :
+  ?machine:Cpr_machine.Descr.t -> ?sched:bool -> stage:string
+  -> before:Prog.t -> Prog.t -> report
+(** [check_stage ~stage ~before after]: {!check_program} on the
+    transformed program [after], minus the findings [before] already
+    exhibits, plus translation validation of the [stage] (skipped for
+    [superblock] and [baseline], which are the identity on region
+    content). *)
+
+val errors : report -> Finding.t list
+
+exception Verify_error of Finding.t list
+(** Carries only the error-severity findings; a printer is registered. *)
+
+val check_stage_exn :
+  ?machine:Cpr_machine.Descr.t -> ?sched:bool -> stage:string
+  -> before:Prog.t -> Prog.t -> unit
+(** Raise {!Verify_error} if {!check_stage} reports any error. *)
