@@ -17,12 +17,16 @@
      dune exec bench/main.exe -- --quick   # 3-workload subset
      dune exec bench/main.exe -- --tables  # skip the micro-benchmarks
      dune exec bench/main.exe -- --micro   # skip the tables
-     dune exec bench/main.exe -- --json .  # also write BENCH_<date>.json *)
+     dune exec bench/main.exe -- --json .  # also write BENCH_<date>.json
+     dune exec bench/main.exe -- --trace t.json          # Chrome trace
+     dune exec bench/main.exe -- --check BENCH_latest.json [--tolerance 25]
+                                           # perf-regression gate       *)
 
 open Bechamel
 open Toolkit
 module W = Cpr_workloads
 module P = Cpr_pipeline
+module Obs = Cpr_obs.Obs
 open Cpr_ir
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
@@ -71,11 +75,30 @@ let bench_date () =
 let json_target =
   Option.map
     (fun p ->
-      if Sys.file_exists p && Sys.is_directory p then
-        ( Filename.concat p (Printf.sprintf "BENCH_%s.json" (bench_date ())),
-          Filename.concat p "BENCH_latest.json" )
-      else (p, Filename.concat (Filename.dirname p) "BENCH_latest.json"))
+      P.Bench_io.targets
+        ~is_dir:(Sys.file_exists p && Sys.is_directory p)
+        ~date:(bench_date ()) p)
     (flag_value "--json")
+
+(* [--check BASELINE.json [--tolerance PCT]]: after the suite, compare
+   per-workload total_s/verify_s and suite wall time against the
+   committed baseline; exit nonzero past the noise margin.  CI's
+   bench-smoke job is the intended caller (with a generous tolerance
+   for shared runners). *)
+let check_target = flag_value "--check"
+
+let tolerance =
+  match flag_value "--tolerance" with
+  | None -> 25.0
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some t when t >= 0.0 -> t
+    | _ -> invalid_arg "--tolerance expects a non-negative percentage")
+
+(* [--trace FILE]: enable Cpr_obs and export the run as a Chrome-trace
+   JSON (chrome://tracing, Perfetto), plus a span summary on stderr. *)
+let trace_target = flag_value "--trace"
+let () = if trace_target <> None then Obs.set_enabled true
 
 let suite () =
   if quick then
@@ -447,19 +470,6 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 (* JSON dump (--json)                                                  *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 (* Wall-clock behavior of the two pooled paths at one domain vs the
    requested count — the numbers the "Performance" section of the README
    tracks.  On a single-core host the pairs coincide (modulo noise);
@@ -493,141 +503,13 @@ let measure_parallel () =
   let f1 = fuzz_rate 1 and fn = fuzz_rate domains in
   ((s1, sn), (f1, fn))
 
-(* Just enough JSON scanning to pull the previous run's micro numbers
-   back out of a BENCH_latest.json written by [write_json] below (fixed
-   layout: one "name": value pair per line inside micro_ns_per_run). *)
-let read_prev_micro path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    let in_micro = ref false in
-    List.filter_map
-      (fun line ->
-        let line = String.trim line in
-        if not !in_micro then begin
-          if
-            String.length line >= 18
-            && String.sub line 0 18 = "\"micro_ns_per_run\""
-          then in_micro := true;
-          None
-        end
-        else if String.length line > 0 && line.[0] = '}' then begin
-          in_micro := false;
-          None
-        end
-        else
-          match String.index_opt line ':' with
-          | Some i when String.length line > 1 && line.[0] = '"' -> (
-            match String.rindex_from_opt line (i - 1) '"' with
-            | Some q when q > 0 ->
-              let name = String.sub line 1 (q - 1) in
-              let v =
-                String.trim
-                  (String.sub line (i + 1) (String.length line - i - 1))
-              in
-              let v =
-                if v <> "" && v.[String.length v - 1] = ',' then
-                  String.sub v 0 (String.length v - 1)
-                else v
-              in
-              Option.map (fun f -> (name, f)) (float_of_string_opt v)
-            | _ -> None)
-          | _ -> None)
-      (String.split_on_char '\n' s)
-  end
-
-(* Single top-level scalar (fixed layout, one pair per line) out of a
-   previous BENCH_latest.json. *)
-let read_prev_scalar path key =
-  if not (Sys.file_exists path) then None
-  else begin
-    let ic = open_in path in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    let prefix = Printf.sprintf "\"%s\":" key in
-    let np = String.length prefix in
-    List.find_map
-      (fun line ->
-        let line = String.trim line in
-        if String.length line > np && String.sub line 0 np = prefix then begin
-          let v = String.trim (String.sub line np (String.length line - np)) in
-          let v =
-            if v <> "" && v.[String.length v - 1] = ',' then
-              String.sub v 0 (String.length v - 1)
-            else v
-          in
-          float_of_string_opt v
-        end
-        else None)
-      (String.split_on_char '\n' s)
-  end
-
-let suite_seconds results =
-  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 results in
-  ( sum (fun (r : P.Report.result) -> r.P.Report.verify_s),
-    sum (fun (r : P.Report.result) -> r.P.Report.total_s) )
-
 let write_json ~dated ~latest results micro par =
-  let buf = Buffer.create 4096 in
-  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\n  \"date\": \"%s\",\n" (bench_date ());
-  (if results <> [] then
-     let verify_total, suite_total = suite_seconds results in
-     add "  \"verify_total_s\": %.4f,\n  \"suite_total_s\": %.4f,\n"
-       verify_total suite_total);
-  let (s1, sn), (f1, fn) = par in
-  add "  \"parallel\": {\n";
-  add "    \"domains_requested\": %d,\n" domains;
-  add "    \"suite_wall_s\": { \"domains_1\": %.3f, \"domains_requested\": \
-       %.3f },\n"
-    s1 sn;
-  add "    \"fuzz_seeds_per_s\": { \"domains_1\": %.1f, \
-       \"domains_requested\": %.1f }\n"
-    f1 fn;
-  add "  },\n";
-  add "  \"benchmarks\": [";
-  List.iteri
-    (fun i (r : P.Report.result) ->
-      add "%s\n    { \"name\": \"%s\",\n"
-        (if i = 0 then "" else ",")
-        (json_escape r.P.Report.name);
-      add "      \"speedups\": {";
-      List.iteri
-        (fun j (m, s) ->
-          add "%s \"%s\": %.4f" (if j = 0 then "" else ",") (json_escape m) s)
-        r.P.Report.speedups;
-      add " },\n";
-      add "      \"op_ratios\": { \"s_tot\": %.4f, \"s_br\": %.4f, \
-           \"d_tot\": %.4f, \"d_br\": %.4f },\n"
-        r.P.Report.s_tot r.P.Report.s_br r.P.Report.d_tot r.P.Report.d_br;
-      add "      \"verify_s\": %.4f,\n" r.P.Report.verify_s;
-      let cycles key l =
-        add "      \"%s\": {" key;
-        List.iteri
-          (fun j (m, c) ->
-            add "%s \"%s\": %d" (if j = 0 then "" else ",") (json_escape m) c)
-          l;
-        add " }"
-      in
-      cycles "baseline_cycles" r.P.Report.baseline_cycles;
-      add ",\n";
-      cycles "reduced_cycles" r.P.Report.reduced_cycles;
-      add " }")
-    results;
-  add "\n  ],\n  \"micro_ns_per_run\": {";
-  List.iteri
-    (fun i (name, est) ->
-      add "%s\n    \"%s\": %s"
-        (if i = 0 then "" else ",")
-        (json_escape name)
-        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null"))
-    (List.sort compare micro);
-  add "\n  }\n}\n";
-  let prev = read_prev_micro latest in
-  let prev_verify = read_prev_scalar latest "verify_total_s" in
-  let contents = Buffer.contents buf in
+  let prev = Option.value ~default:"" (P.Bench_io.read_file latest) in
+  let prev_micro = P.Bench_io.read_micro prev in
+  let prev_verify = P.Bench_io.read_scalar prev "verify_total_s" in
+  let contents =
+    P.Bench_io.render ~date:(bench_date ()) ~domains ~results ~micro ~par
+  in
   List.iter
     (fun path ->
       let oc = open_out path in
@@ -635,11 +517,11 @@ let write_json ~dated ~latest results micro par =
       close_out oc;
       Format.printf "@.wrote %s@." path)
     (if dated = latest then [ dated ] else [ dated; latest ]);
-  if prev <> [] then begin
+  if prev_micro <> [] then begin
     Format.printf "@.micro-bench vs previous %s:@." latest;
     List.iter
       (fun (name, est) ->
-        match (est, List.assoc_opt name prev) with
+        match (est, List.assoc_opt name prev_micro) with
         | Some e, Some p when p > 0. ->
           Format.printf "  %-28s %12.0f -> %12.0f ns/run (x%.2f)@." name p e
             (e /. p)
@@ -648,18 +530,58 @@ let write_json ~dated ~latest results micro par =
   end;
   match (prev_verify, results) with
   | Some p, _ :: _ when p > 0. ->
-    let v, _ = suite_seconds results in
+    let v, _ = P.Bench_io.suite_seconds results in
     Format.printf "@.static verifier vs previous: %.3fs -> %.3fs (x%.2f)@." p
       v (v /. p)
   | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Baseline gate (--check)                                             *)
+
+(* Snapshot the baseline before anything runs: --json may rewrite the
+   very file --check points at, and a gate that compares a run against
+   itself always passes. *)
+let check_baseline =
+  Option.map (fun p -> (p, P.Bench_io.read_file p)) check_target
+
+let run_check ~baseline_path baseline results =
+  match baseline with
+  | None ->
+    Format.eprintf "--check: no baseline at %s@." baseline_path;
+    false
+  | Some baseline ->
+    let current =
+      List.map
+        (fun (r : P.Report.result) ->
+          (r.P.Report.name, r.P.Report.verify_s, r.P.Report.total_s))
+        results
+    in
+    let deltas = P.Bench_io.check ~tolerance ~baseline ~current in
+    if deltas = [] then begin
+      Format.eprintf
+        "--check: no workload of this run appears in %s; nothing gated@."
+        baseline_path;
+      false
+    end
+    else begin
+      Format.printf "@.perf gate vs %s (tolerance %.0f%%):@.@." baseline_path
+        tolerance;
+      P.Bench_io.pp_deltas Format.std_formatter deltas;
+      match P.Bench_io.regressions deltas with
+      | [] -> true
+      | rs ->
+        Format.printf "@.%d metric(s) regressed past %.0f%%@."
+          (List.length rs) tolerance;
+        false
+    end
 
 let () =
   let results =
     if micro_only then []
     else begin
       print_table1 ();
-      let results = run_suite ~domains () in
-      let verify_total, suite_total = suite_seconds results in
+      let results = Obs.span "bench/suite" (fun () -> run_suite ~domains ()) in
+      let verify_total, suite_total = P.Bench_io.suite_seconds results in
       Format.printf
         "@.static verifier: %.2fs across %d workloads (%.1f%% of %.2fs \
          total suite work)@."
@@ -669,13 +591,32 @@ let () =
       print_table2 results;
       print_table3 results;
       print_figure67 ();
-      run_ablations ();
+      Obs.span "bench/ablations" run_ablations;
       results
     end
   in
-  let micro = if tables_only then [] else run_micro () in
+  let micro =
+    if tables_only then [] else Obs.span "bench/micro" run_micro
+  in
   Option.iter
     (fun (dated, latest) ->
-      let par = measure_parallel () in
+      let par = Obs.span "bench/parallel" measure_parallel in
       write_json ~dated ~latest results micro par)
-    json_target
+    json_target;
+  let gate_ok =
+    match check_baseline with
+    | None -> true
+    | Some (baseline_path, baseline) ->
+      if micro_only then begin
+        Format.eprintf "--check needs the workload suite; drop --micro@.";
+        false
+      end
+      else run_check ~baseline_path baseline results
+  in
+  Option.iter
+    (fun path ->
+      Obs.Trace.export ~path;
+      Format.eprintf "@.span summary:@.%a" Obs.Summary.pp ();
+      Format.eprintf "wrote trace %s@." path)
+    trace_target;
+  if not gate_ok then exit 1

@@ -150,7 +150,28 @@ let machine_arg =
 let cpr_flag =
   Arg.(value & flag & info [ "cpr" ] ~doc:"Apply FRP conversion and ICBM first.")
 
-let wrap f = try f () with Failure m -> prerr_endline m; 1
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record pipeline spans and counters and write a \
+                 Chrome-trace-format JSON to $(i,FILE) (open in \
+                 chrome://tracing or https://ui.perfetto.dev).")
+
+(* Telemetry wraps the whole subcommand so the trace also covers a run
+   that fails: enable first, export in a finalizer. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Cpr_obs.Obs.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Cpr_obs.Obs.Trace.export ~path;
+        Format.eprintf "wrote trace %s@." path)
+      f
+
+let wrap ?trace f =
+  try with_trace trace f with Failure m -> prerr_endline m; 1
 
 let list_t =
   Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark workloads")
@@ -162,13 +183,15 @@ let show_t =
          ~doc:"baseline, superblock, unroll, frp, spec, icbm or fullcpr.")
   in
   Cmd.v (Cmd.info "show" ~doc:"Print the program after a pipeline phase")
-    Term.(const (fun s p -> wrap (fun () -> show_cmd s p)) $ spec_arg $ phase)
+    Term.(const (fun s p trace -> wrap ?trace (fun () -> show_cmd s p))
+          $ spec_arg $ phase $ trace_arg)
 
 let run_t =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run the full pipeline: equivalence check, op counts, speedups")
-    Term.(const (fun s -> wrap (fun () -> run_cmd s)) $ spec_arg)
+    Term.(const (fun s trace -> wrap ?trace (fun () -> run_cmd s))
+          $ spec_arg $ trace_arg)
 
 let schedule_t =
   let region =
@@ -176,16 +199,17 @@ let schedule_t =
          ~doc:"Only this region.")
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Print cycle-by-cycle schedules")
-    Term.(const (fun s m r c -> wrap (fun () -> schedule_cmd s m r c))
-          $ spec_arg $ machine_arg $ region $ cpr_flag)
+    Term.(const (fun s m r c trace ->
+              wrap ?trace (fun () -> schedule_cmd s m r c))
+          $ spec_arg $ machine_arg $ region $ cpr_flag $ trace_arg)
 
 let vliw_t =
   Cmd.v
     (Cmd.info "vliw"
        ~doc:"Execute the scheduled code cycle-by-cycle and compare with the \
              interpreter")
-    Term.(const (fun s m c -> wrap (fun () -> vliw_cmd s m c))
-          $ spec_arg $ machine_arg $ cpr_flag)
+    Term.(const (fun s m c trace -> wrap ?trace (fun () -> vliw_cmd s m c))
+          $ spec_arg $ machine_arg $ cpr_flag $ trace_arg)
 
 let () =
   let info =

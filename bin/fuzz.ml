@@ -34,7 +34,8 @@ let parse_seeds spec =
     with Failure _ -> Error (`Msg ("bad seed range " ^ spec)))
 
 let run seeds stages_spec shrink out fault_name no_vliw verify extra_inputs
-    max_shrinks quiet domains =
+    max_shrinks quiet domains trace =
+  if trace <> None then Cpr_obs.Obs.set_enabled true;
   let lo, hi = seeds in
   let stages =
     match F.Stage.parse stages_spec with
@@ -114,6 +115,11 @@ let run seeds stages_spec shrink out fault_name no_vliw verify extra_inputs
     | None -> "");
   F.Driver.pp_summary Format.std_formatter summary;
   if !shrunk > 0 then Format.printf "shrunk %d counterexample(s)@." !shrunk;
+  Option.iter
+    (fun path ->
+      Cpr_obs.Obs.Trace.export ~path;
+      Format.eprintf "wrote trace %s@." path)
+    trace;
   if summary.F.Driver.failures = [] then 0 else 1
 
 open Cmdliner
@@ -183,21 +189,28 @@ let domains_arg =
                  recommendation, capped at 8).  Output is identical for \
                  every $(i,N).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record per-seed/per-stage spans and counters and write a \
+                 Chrome-trace-format JSON to $(i,FILE) (open in \
+                 chrome://tracing or https://ui.perfetto.dev).")
+
 let () =
   let term =
     Term.(
       const
         (fun seeds stages shrink out fault no_vliw verify extra max_shrinks
-             quiet domains ->
+             quiet domains trace ->
           try
             run seeds stages shrink out fault no_vliw verify extra max_shrinks
-              quiet domains
+              quiet domains trace
           with Failure msg ->
             prerr_endline msg;
             2)
       $ seeds_arg $ stages_arg $ shrink_flag $ out_arg $ fault_arg
       $ no_vliw_flag $ verify_flag $ extra_inputs_arg $ max_shrinks_arg
-      $ quiet_flag $ domains_arg)
+      $ quiet_flag $ domains_arg $ trace_arg)
   in
   let info =
     Cmd.info "fuzz" ~version:"1.0"

@@ -116,7 +116,8 @@ let lint_files files quiet =
       report_entry quiet path res && acc)
     true files
 
-let run files all_workloads corpus stages_spec quiet =
+let run files all_workloads corpus stages_spec quiet trace =
+  if trace <> None then Cpr_obs.Obs.set_enabled true;
   let stages =
     match F.Stage.parse stages_spec with
     | Ok s -> s
@@ -130,6 +131,11 @@ let run files all_workloads corpus stages_spec quiet =
   | Some dir -> ok := lint_corpus dir quiet && !ok
   | None -> ());
   if all_workloads then ok := lint_workloads stages quiet && !ok;
+  Option.iter
+    (fun path ->
+      Cpr_obs.Obs.Trace.export ~path;
+      Format.eprintf "wrote trace %s@." path)
+    trace;
   if !ok then 0 else 1
 
 open Cmdliner
@@ -158,15 +164,23 @@ let stages_arg =
 let quiet_flag =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print problems.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record verifier spans and counters and write a \
+                 Chrome-trace-format JSON to $(i,FILE) (open in \
+                 chrome://tracing or https://ui.perfetto.dev).")
+
 let () =
   let term =
     Term.(
-      const (fun files aw corpus stages quiet ->
-          try run files aw corpus stages quiet
+      const (fun files aw corpus stages quiet trace ->
+          try run files aw corpus stages quiet trace
           with Failure msg ->
             prerr_endline msg;
             2)
-      $ files_arg $ all_workloads_flag $ corpus_arg $ stages_arg $ quiet_flag)
+      $ files_arg $ all_workloads_flag $ corpus_arg $ stages_arg $ quiet_flag
+      $ trace_arg)
   in
   let info =
     Cmd.info "lint" ~version:"1.0"

@@ -96,17 +96,37 @@ let is_const_false = function Dnf [] -> true | Dnf _ | Unknown -> false
 let is_const_true = function Dnf [ [] ] -> true | Dnf _ | Unknown -> false
 let is_unknown = function Unknown -> true | Dnf _ -> false
 
+(* Query telemetry: total queries vs the constant/unknown short-circuits
+   that answer without touching the DNF product.  The counters are dark
+   (one atomic load each) unless a [--trace] sink enabled Cpr_obs. *)
+module Obs = Cpr_obs.Obs
+
+let q_queries = Obs.counter "pqs.queries"
+let q_fast = Obs.counter "pqs.fast_path_hits"
+
 let disjoint a b =
+  Obs.incr q_queries;
   match (a, b) with
-  | Unknown, _ | _, Unknown -> false
+  | Unknown, _ | _, Unknown ->
+    Obs.incr q_fast;
+    false
+  | Dnf [], _ | _, Dnf [] ->
+    Obs.incr q_fast;
+    true
   | Dnf ca, Dnf cb ->
     List.for_all
       (fun c1 -> List.for_all (fun c2 -> conj_and c1 c2 = None) cb)
       ca
 
 let implies a b =
+  Obs.incr q_queries;
   match (a, b) with
-  | Unknown, _ | _, Unknown -> false
+  | Unknown, _ | _, Unknown ->
+    Obs.incr q_fast;
+    false
+  | Dnf [], _ ->
+    Obs.incr q_fast;
+    true
   | Dnf ca, Dnf cb ->
     List.for_all (fun c1 -> List.exists (fun c2 -> conj_subsumes c1 c2) cb) ca
 

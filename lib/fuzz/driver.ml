@@ -1,5 +1,19 @@
 open Cpr_ir
 module W = Cpr_workloads
+module Obs = Cpr_obs.Obs
+
+(* Fuzzing telemetry: one [fuzz/seed] span per seed (nesting the
+   per-stage pipeline spans beneath it), plus outcome counters.  Dark
+   unless a [--trace] sink enabled Cpr_obs. *)
+let c_seeds = Obs.counter "fuzz.seeds"
+let c_pass = Obs.counter "fuzz.pass"
+let c_fail = Obs.counter "fuzz.fail"
+let c_skip = Obs.counter "fuzz.skip"
+
+let observe_outcome = function
+  | `Pass -> Obs.incr c_pass
+  | `Fail -> Obs.incr c_fail
+  | `Skip -> Obs.incr c_skip
 
 type check = {
   vliw : bool;
@@ -87,7 +101,16 @@ let run_prog check (stage : Stage.t) prog inputs =
               Fail ("vliw interp: " ^ msg))))))
 
 let run_stage check stage ~seed =
-  run_prog check stage (W.Gen.prog_of_seed seed) (inputs_for check seed)
+  let outcome =
+    Obs.span
+      ~args:[ ("seed", string_of_int seed) ]
+      ("fuzz/" ^ stage.Stage.name)
+      (fun () ->
+        run_prog check stage (W.Gen.prog_of_seed seed) (inputs_for check seed))
+  in
+  observe_outcome
+    (match outcome with Pass -> `Pass | Fail _ -> `Fail | Skip _ -> `Skip);
+  outcome
 
 (* One task per seed (running all its stages) keeps tasks coarse enough
    to amortize pool hand-off; results come back in seed order, so the
@@ -97,6 +120,8 @@ let run_stage check stage ~seed =
 let run_seeds ?pool check stages ~lo ~hi =
   let seeds = List.init (max 0 (hi - lo)) (fun k -> lo + k) in
   let one seed =
+    Obs.span ~args:[ ("seed", string_of_int seed) ] "fuzz/seed" @@ fun () ->
+    Obs.incr c_seeds;
     ( seed,
       List.map (fun stage -> (stage, run_stage check stage ~seed)) stages )
   in

@@ -1,0 +1,42 @@
+/* Monotonic clock for Cpr_obs.
+
+   CLOCK_MONOTONIC never jumps backwards under NTP adjustment, which is
+   what span durations need; gettimeofday is only the fallback for
+   platforms without POSIX clocks.  The native-code entry point returns
+   an unboxed int64 so the enabled-path timestamp costs no allocation. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+#else
+#include <time.h>
+#include <sys/time.h>
+#endif
+
+int64_t cpr_obs_monotonic_ns_unboxed(value unit)
+{
+  (void)unit;
+#if defined(_WIN32)
+  LARGE_INTEGER freq, count;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return (int64_t)((double)count.QuadPart * 1e9 / (double)freq.QuadPart);
+#elif defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return 0;
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+#else
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  return (int64_t)tv.tv_sec * 1000000000 + (int64_t)tv.tv_usec * 1000;
+#endif
+}
+
+CAMLprim value cpr_obs_monotonic_ns_byte(value unit)
+{
+  return caml_copy_int64(cpr_obs_monotonic_ns_unboxed(unit));
+}

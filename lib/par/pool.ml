@@ -24,6 +24,16 @@ let domains t = t.domains
 
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
+(* Batch telemetry (dark unless Cpr_obs is enabled): how many tasks and
+   batches went through the pool, cumulative busy vs wall nanoseconds,
+   and a utilization gauge (busy / (wall * domains)) for the last batch. *)
+module Obs = Cpr_obs.Obs
+
+let c_tasks = Obs.counter "pool.tasks"
+let c_batches = Obs.counter "pool.batches"
+let c_busy = Obs.counter "pool.busy_ns"
+let c_wall = Obs.counter "pool.wall_ns"
+
 (* Run tasks from [b] until its cursor is exhausted.  Called with
    [t.mutex] held; returns with it held. *)
 let drain t b =
@@ -81,22 +91,37 @@ let shutdown t =
   t.workers <- []
 
 let map t f xs =
-  if t.domains = 1 then List.map f xs
+  if t.domains = 1 then begin
+    if Obs.enabled () then begin
+      Obs.add c_tasks (List.length xs);
+      Obs.incr c_batches
+    end;
+    List.map f xs
+  end
   else begin
     let args = Array.of_list xs in
     let n = Array.length args in
     if n = 0 then []
     else begin
+      let observed = Obs.enabled () in
+      let busy = Atomic.make 0 in
+      let wall0 = if observed then Obs.now_ns () else 0L in
       let results = Array.make n None in
       let tasks =
         Array.init n (fun i ->
             fun () ->
+              let t0 = if observed then Obs.now_ns () else 0L in
               results.(i) <-
                 Some
                   (match f args.(i) with
                   | y -> Ok y
                   | exception e ->
-                    Error (e, Printexc.get_raw_backtrace ())))
+                    Error (e, Printexc.get_raw_backtrace ()));
+              if observed then
+                ignore
+                  (Atomic.fetch_and_add busy
+                     (Int64.to_int (Int64.sub (Obs.now_ns ()) t0))
+                    : int))
       in
       let b = { tasks; next = 0; finished = 0 } in
       Mutex.lock t.mutex;
@@ -111,6 +136,17 @@ let map t f xs =
         Condition.wait t.batch_done t.mutex
       done;
       Mutex.unlock t.mutex;
+      if observed then begin
+        let wall = Int64.to_int (Int64.sub (Obs.now_ns ()) wall0) in
+        Obs.add c_tasks n;
+        Obs.incr c_batches;
+        Obs.add c_busy (Atomic.get busy);
+        Obs.add c_wall wall;
+        if wall > 0 then
+          Obs.gauge "pool.utilization"
+            (float_of_int (Atomic.get busy)
+            /. (float_of_int wall *. float_of_int t.domains))
+      end;
       (* Earliest failure in submission order wins, deterministically. *)
       Array.iter
         (function

@@ -1,0 +1,86 @@
+(** Bench-harness persistence: writing the [BENCH_*.json] artifacts,
+    reading them back, and comparing a fresh run against a committed
+    baseline ([bench --check]).
+
+    Lives in the library (rather than inline in [bench/main.ml]) so the
+    path normalization, JSON escaping and regression-detection logic are
+    unit-testable — each has regressed silently before.
+
+    The JSON layout is fixed: one key/value pair per line.  The readers
+    below only promise to parse what {!render} writes; they are scanners
+    for that layout, not a general JSON parser (see {!Cpr_obs.Obs.Trace}
+    for one of those). *)
+
+val json_escape : string -> string
+(** Escape for a JSON string literal: quote, backslash, and every
+    control character below [0x20] (as [\n] or [\u00XX]). *)
+
+val targets : is_dir:bool -> date:string -> string -> string * string
+(** [targets ~is_dir ~date path]: the [(dated, latest)] file pair for
+    [--json path].  A directory gets [BENCH_<date>.json] and
+    [BENCH_latest.json] inside it.  A file path is used verbatim with
+    [BENCH_latest.json] as a sibling — normalized so a bare filename
+    (no directory component) yields a bare [BENCH_latest.json] rather
+    than [./BENCH_latest.json], and [dated = latest] whenever both
+    resolve to the same file (so it is written once). *)
+
+(** {2 Writing} *)
+
+val render :
+  date:string ->
+  domains:int ->
+  results:Report.result list ->
+  micro:(string * float option) list ->
+  par:(float * float) * (float * float) ->
+  string
+(** The full bench JSON document: per-workload speedups, op ratios,
+    [verify_s]/[total_s] and cycle counts, top-level
+    [verify_total_s]/[suite_total_s], parallel wall-clock numbers, and
+    micro-benchmark ns/run figures. *)
+
+val suite_seconds : Report.result list -> float * float
+(** [(verify_total_s, suite_total_s)]: sums over the per-workload
+    [verify_s] and [total_s]. *)
+
+(** {2 Reading back} *)
+
+val read_file : string -> string option
+
+val read_scalar : string -> string -> float option
+(** [read_scalar contents key]: a top-level numeric value. *)
+
+val read_micro : string -> (string * float) list
+(** The [micro_ns_per_run] table. *)
+
+val read_workloads : string -> (string * float * float) list
+(** [(name, verify_s, total_s)] per entry of the [benchmarks] array. *)
+
+(** {2 Baseline comparison — the CI perf gate} *)
+
+type delta = {
+  workload : string;  (** benchmark name, or ["(suite)"] *)
+  metric : string;  (** ["total_s"], ["verify_s"] or ["suite_total_s"] *)
+  base : float;
+  cur : float;
+  change_pct : float;  (** [(cur - base) / base * 100] *)
+  regressed : bool;
+}
+
+val check :
+  tolerance:float ->
+  baseline:string ->
+  current:(string * float * float) list ->
+  delta list
+(** Compare a fresh run against baseline JSON [contents].  [current]
+    rows are [(name, verify_s, total_s)].  A metric regresses when it
+    exceeds the baseline by more than [tolerance] percent {e and} by
+    more than an absolute 20ms noise floor — sub-hundredth-second
+    metrics on shared runners are indistinguishable from jitter.
+    Workloads present on only one side are skipped, and the suite row
+    sums over the {e matched} workloads only, so a [--quick] run gates
+    cleanly against a full-suite baseline. *)
+
+val regressions : delta list -> delta list
+
+val pp_deltas : Format.formatter -> delta list -> unit
+(** The delta table [bench --check] prints. *)

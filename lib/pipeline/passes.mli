@@ -33,7 +33,12 @@ val baseline :
     error findings raised as {!Cpr_verify.Verify.Verify_error}.  Pass
     [~verify:false] to skip (micro-benchmarks; drivers that verify
     separately), and [~verify_time] to accumulate the wall time spent
-    verifying. *)
+    verifying.
+
+    Every entry point also runs inside a [pass/<stage>] {!Cpr_obs.Obs}
+    span, with the verifier under a nested [verify/<stage>] span and
+    op-count/ICBM counters alongside — all dark unless a [--trace] sink
+    enabled telemetry.  [~verify_time] keeps working either way. *)
 
 val height_reduce :
   ?heur:Cpr_core.Heur.t -> ?verify:bool -> ?verify_time:float ref -> Prog.t

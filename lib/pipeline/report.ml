@@ -17,6 +17,8 @@ type result = {
 }
 
 let run ?heur ~name prog inputs =
+  Cpr_obs.Obs.span ~args:[ ("workload", name) ] ("workload/" ^ name)
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let verify_time = ref 0.0 in
   let base = Passes.baseline ~verify_time prog inputs in
@@ -60,7 +62,11 @@ let run ?heur ~name prog inputs =
     total_s = Unix.gettimeofday () -. t0;
   }
 
+let c_workloads = Cpr_obs.Obs.counter "report.workloads"
+
 let run_many ?pool ?heur jobs =
+  Cpr_obs.Obs.span "report/run_many" @@ fun () ->
+  Cpr_obs.Obs.add c_workloads (List.length jobs);
   let one (name, prog, inputs) = run ?heur ~name prog inputs in
   match pool with
   | Some p -> Cpr_par.Pool.map p one jobs

@@ -1,11 +1,29 @@
 open Cpr_ir
+module Obs = Cpr_obs.Obs
 
 type report = {
   findings : Finding.t list;
   stats : Finding.stats;
 }
 
-let check_program ?machine ?(sched = true) ?only_checks prog =
+(* Aggregate verifier telemetry across every entry point: how many
+   findings were reported, and how the predicate analysis did on the
+   queries behind them (proved vs degraded-to-unknown). *)
+let c_findings = Obs.counter "verify.findings"
+let c_proved = Obs.counter "verify.proved"
+let c_unknown = Obs.counter "verify.unknown"
+
+let observe r =
+  if Obs.enabled () then begin
+    Obs.add c_findings (List.length r.findings);
+    Obs.add c_proved r.stats.Finding.proved;
+    Obs.add c_unknown r.stats.Finding.unknown
+  end;
+  r
+
+(* Uncounted core shared by both entry points, so [check_stage]'s
+   internal baseline re-lint is not double-counted in the telemetry. *)
+let lint_program ?machine ?(sched = true) ?only_checks prog =
   let stats = Finding.new_stats () in
   let findings = Dataflow.lint ?only_checks ~stats prog in
   let sched =
@@ -21,10 +39,13 @@ let check_program ?machine ?(sched = true) ?only_checks prog =
   in
   { findings; stats }
 
+let check_program ?machine ?sched ?only_checks prog =
+  observe (lint_program ?machine ?sched ?only_checks prog)
+
 let errors r = List.filter Finding.is_error r.findings
 
 let check_stage ?machine ?sched ~stage ~before after =
-  let aft = check_program ?machine ?sched after in
+  let aft = lint_program ?machine ?sched after in
   (* Baseline subtraction only matters when the output has findings at
      all, so the input program is checked lazily: in the common
      all-clean case the input check is skipped entirely (the report's
@@ -41,7 +62,7 @@ let check_stage ?machine ?sched ~stage ~before after =
         List.sort_uniq compare
           (List.map (fun f -> f.Finding.check) aft_findings)
       in
-      let base = check_program ?machine ?sched ~only_checks:wanted before in
+      let base = lint_program ?machine ?sched ~only_checks:wanted before in
       (* Key the input's findings with the identity resolver (its ops are
          the originals) and the output's through one-step [orig] chasing,
          so a finding inherited from the input doesn't re-report just
@@ -76,7 +97,7 @@ let check_stage ?machine ?sched ~stage ~before after =
     | "superblock" | "baseline" -> []
     | _ -> Tv.validate ?machine ~stats:aft.stats ~stage ~before after
   in
-  { findings = fresh @ tv; stats = aft.stats }
+  observe { findings = fresh @ tv; stats = aft.stats }
 
 exception Verify_error of Finding.t list
 
