@@ -142,7 +142,8 @@ let suite_jobs () =
 let run_suite ?(quiet = false) ~domains () =
   let results =
     Cpr_par.Pool.with_pool ~domains (fun pool ->
-        P.Report.run_many ~pool (suite_jobs ()))
+        P.Report.run_many ~pool
+          ~bundle_dir:Cpr_resilience.Bundle.default_dir (suite_jobs ()))
   in
   if not quiet then
     List.iter
@@ -151,7 +152,13 @@ let run_suite ?(quiet = false) ~domains () =
         | Ok () -> ()
         | Error e ->
           Format.eprintf "WARNING %s equivalence: %s@." r.P.Report.name e);
-        Format.eprintf "  [%s done]@.%!" r.P.Report.name)
+        List.iter
+          (fun f ->
+            Format.eprintf "WARNING %s %a@." r.P.Report.name
+              Cpr_resilience.Recover.pp_failure f)
+          r.P.Report.failures;
+        Format.eprintf "  [%s done%s]@.%!" r.P.Report.name
+          (if P.Report.degraded r then ", DEGRADED" else ""))
       results;
   results
 

@@ -2,7 +2,11 @@
 
    Subcommands: list, show, run, schedule, vliw.  Programs are either
    named workloads from the registry or textual IR files (see
-   Cpr_ir.Printer for the format). *)
+   Cpr_ir.Printer for the format).
+
+   Exit codes: 0 ok, 2 verifier findings, 3 degraded (a pass fell back
+   to its verified pre-pass input; a crash bundle lands under _crash/),
+   1 fatal/usage error. *)
 
 open Cpr_ir
 module W = Cpr_workloads
@@ -74,10 +78,26 @@ let show_cmd spec phase =
   print_string (Printer.to_text prog);
   0
 
+(* The pipeline subcommand runs both compilations sandboxed: a pass
+   failure degrades to the verified pre-pass IR (with a crash bundle
+   quarantined under _crash/) and the numbers below measure the
+   fallback; exit code 3 says so. *)
 let run_cmd spec =
   let prog, inputs = load_program spec in
-  let base = P.Passes.baseline prog inputs in
-  let reduced = P.Passes.height_reduce prog inputs in
+  let failures = ref [] in
+  let protected stage =
+    match
+      P.Passes.protected ~bundle_dir:Cpr_resilience.Bundle.default_dir ~stage
+        prog inputs
+    with
+    | Cpr_resilience.Recover.Committed c -> c
+    | Cpr_resilience.Recover.Fell_back (c, f) ->
+      failures := f :: !failures;
+      Format.eprintf "DEGRADED: %a@." Cpr_resilience.Recover.pp_failure f;
+      c
+  in
+  let base = protected "superblock" in
+  let reduced = protected "icbm" in
   (match reduced.P.Passes.icbm with
   | Some s -> Format.printf "icbm: %a@." Cpr_core.Icbm.pp_stats s
   | None -> ());
@@ -98,7 +118,7 @@ let run_cmd spec =
       Format.printf "%-6s%12d%12d%10.3f@." m.Cpr_machine.Descr.name b t
         (P.Perf.speedup ~baseline:b ~transformed:t))
     Cpr_machine.Descr.all;
-  0
+  if !failures = [] then 0 else 3
 
 let schedule_cmd spec machine region cpr =
   let prog, inputs = load_program spec in
@@ -170,8 +190,25 @@ let with_trace trace f =
         Format.eprintf "wrote trace %s@." path)
       f
 
+(* Exit-code policy for every subcommand: verifier rejections print
+   their findings to stderr and exit 2 (the unprotected subcommands —
+   show, schedule, vliw — verify inline); usage errors and any other
+   fatal exception exit 1. *)
 let wrap ?trace f =
-  try with_trace trace f with Failure m -> prerr_endline m; 1
+  try with_trace trace f with
+  | Failure m ->
+    prerr_endline m;
+    1
+  | Cpr_verify.Verify.Verify_error findings ->
+    List.iter
+      (fun fi -> Format.eprintf "%a@." Cpr_verify.Finding.pp fi)
+      findings;
+    Format.eprintf "verification failed with %d finding(s)@."
+      (List.length findings);
+    2
+  | e ->
+    prerr_endline (Printexc.to_string e);
+    1
 
 let list_t =
   Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark workloads")

@@ -9,8 +9,16 @@
      dune exec bin/fuzz.exe -- --seeds 0..5000 --stages icbm,fullcpr \
        --shrink --out test/corpus
 
+   Two further modes: --chaos injects faults (exceptions, deadline
+   overruns, corrupted IR) at randomized pipeline points and checks the
+   resilience invariant (verified output or clean degraded result plus
+   crash bundle — never an escaped exception); --replay-bundle re-runs a
+   crash bundle's quarantined input through the full oracle battery.
+
    Everything is a deterministic function of the flags: running the
-   same command twice prints the identical summary. *)
+   same command twice prints the identical summary.
+
+   Exit codes: 0 clean, 2 failures found, 1 fatal/usage error. *)
 
 module F = Cpr_fuzz
 
@@ -32,6 +40,33 @@ let parse_seeds spec =
       let s = int_of_string spec in
       Ok (s, s)
     with Failure _ -> Error (`Msg ("bad seed range " ^ spec)))
+
+let run_chaos seeds domains bundle_dir =
+  let lo, hi = seeds in
+  let outcomes =
+    Cpr_par.Pool.with_pool ~domains (fun pool ->
+        F.Chaos_run.run ~pool ?bundle_dir ~lo ~hi ())
+  in
+  let summary = F.Chaos_run.summarize outcomes in
+  F.Chaos_run.pp_summary Format.std_formatter summary;
+  if F.Chaos_run.ok summary then 0 else 2
+
+let replay_bundle dir =
+  let path = Cpr_resilience.Bundle.input_file dir in
+  match F.Corpus.load path with
+  | Error msg ->
+    Format.eprintf "%s@." msg;
+    1
+  | Ok entry -> (
+    Format.printf "replaying bundle %s (stage %s: %s)@." dir entry.F.Corpus.stage
+      entry.F.Corpus.reason;
+    match F.Corpus.replay entry with
+    | Ok () ->
+      Format.printf "bundle passes the differential oracle@.";
+      0
+    | Error reason ->
+      Format.printf "bundle still fails: %s@." reason;
+      2)
 
 let run seeds stages_spec shrink out fault_name no_vliw verify extra_inputs
     max_shrinks quiet domains trace =
@@ -120,7 +155,7 @@ let run seeds stages_spec shrink out fault_name no_vliw verify extra_inputs
       Cpr_obs.Obs.Trace.export ~path;
       Format.eprintf "wrote trace %s@." path)
     trace;
-  if summary.F.Driver.failures = [] then 0 else 1
+  if summary.F.Driver.failures = [] then 0 else 2
 
 open Cmdliner
 
@@ -196,21 +231,47 @@ let trace_arg =
                  Chrome-trace-format JSON to $(i,FILE) (open in \
                  chrome://tracing or https://ui.perfetto.dev).")
 
+let chaos_flag =
+  Arg.(value & flag
+       & info [ "chaos" ]
+           ~doc:"Chaos mode: for each seed, inject a fault (exception, \
+                 deadline overrun or corrupted IR) at a seed-determined \
+                 pipeline stage and check that the protected pipeline \
+                 either commits verified output or degrades cleanly with \
+                 a crash bundle — an escaped exception fails the run.")
+
+let bundle_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "bundle-dir" ] ~docv:"DIR"
+           ~doc:"Where --chaos quarantines crash bundles (default: _crash).")
+
+let replay_bundle_arg =
+  Arg.(value & opt (some dir) None
+       & info [ "replay-bundle" ] ~docv:"DIR"
+           ~doc:"Re-run a crash bundle's input.cpr through its recorded \
+                 stage and the full differential oracle battery.")
+
 let () =
   let term =
     Term.(
       const
         (fun seeds stages shrink out fault no_vliw verify extra max_shrinks
-             quiet domains trace ->
+             quiet domains trace chaos bundle_dir replay ->
           try
-            run seeds stages shrink out fault no_vliw verify extra max_shrinks
-              quiet domains trace
+            match replay with
+            | Some dir -> replay_bundle dir
+            | None ->
+              if chaos then run_chaos seeds domains bundle_dir
+              else
+                run seeds stages shrink out fault no_vliw verify extra
+                  max_shrinks quiet domains trace
           with Failure msg ->
             prerr_endline msg;
-            2)
+            1)
       $ seeds_arg $ stages_arg $ shrink_flag $ out_arg $ fault_arg
       $ no_vliw_flag $ verify_flag $ extra_inputs_arg $ max_shrinks_arg
-      $ quiet_flag $ domains_arg $ trace_arg)
+      $ quiet_flag $ domains_arg $ trace_arg $ chaos_flag $ bundle_dir_arg
+      $ replay_bundle_arg)
   in
   let info =
     Cmd.info "fuzz" ~version:"1.0"

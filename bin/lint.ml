@@ -13,9 +13,12 @@
        verifier alone — no simulation oracle runs;
 
      dune exec bin/lint.exe -- test/corpus/icbm-seed1921.cpr ...
-       the same check for individual artifacts.
+       the same check for individual artifacts;
 
-   Exit status 0 iff everything verified. *)
+     dune exec bin/lint.exe -- --replay-bundle _crash/icbm-0123456789ab
+       statically re-verify a crash bundle's quarantined input.
+
+   Exit codes: 0 everything verified, 2 findings, 1 fatal/usage. *)
 
 module F = Cpr_fuzz
 module V = Cpr_verify
@@ -116,19 +119,33 @@ let lint_files files quiet =
       report_entry quiet path res && acc)
     true files
 
-let run files all_workloads corpus stages_spec quiet trace =
+let lint_bundle dir quiet =
+  let path = Cpr_resilience.Bundle.input_file dir in
+  let res =
+    match F.Corpus.load path with
+    | Error msg -> Error msg
+    | Ok entry -> F.Static_check.check_entry entry
+  in
+  report_entry quiet dir res
+
+let run files all_workloads corpus replay stages_spec quiet trace =
   if trace <> None then Cpr_obs.Obs.set_enabled true;
   let stages =
     match F.Stage.parse stages_spec with
     | Ok s -> s
     | Error msg -> failwith msg
   in
-  if (not all_workloads) && corpus = None && files = [] then
-    failwith "nothing to lint: pass FILES, --all-workloads or --corpus DIR";
+  if (not all_workloads) && corpus = None && replay = None && files = [] then
+    failwith
+      "nothing to lint: pass FILES, --all-workloads, --corpus DIR or \
+       --replay-bundle DIR";
   let ok = ref true in
   if files <> [] then ok := lint_files files quiet && !ok;
   (match corpus with
   | Some dir -> ok := lint_corpus dir quiet && !ok
+  | None -> ());
+  (match replay with
+  | Some dir -> ok := lint_bundle dir quiet && !ok
   | None -> ());
   if all_workloads then ok := lint_workloads stages quiet && !ok;
   Option.iter
@@ -136,7 +153,7 @@ let run files all_workloads corpus stages_spec quiet trace =
       Cpr_obs.Obs.Trace.export ~path;
       Format.eprintf "wrote trace %s@." path)
     trace;
-  if !ok then 0 else 1
+  if !ok then 0 else 2
 
 open Cmdliner
 
@@ -171,16 +188,23 @@ let trace_arg =
                  Chrome-trace-format JSON to $(i,FILE) (open in \
                  chrome://tracing or https://ui.perfetto.dev).")
 
+let replay_bundle_arg =
+  Arg.(value & opt (some dir) None
+       & info [ "replay-bundle" ] ~docv:"DIR"
+           ~doc:"Statically re-verify a crash bundle directory's \
+                 quarantined input.cpr (written by the resilience layer \
+                 under _crash/).")
+
 let () =
   let term =
     Term.(
-      const (fun files aw corpus stages quiet trace ->
-          try run files aw corpus stages quiet trace
+      const (fun files aw corpus replay stages quiet trace ->
+          try run files aw corpus replay stages quiet trace
           with Failure msg ->
             prerr_endline msg;
-            2)
-      $ files_arg $ all_workloads_flag $ corpus_arg $ stages_arg $ quiet_flag
-      $ trace_arg)
+            1)
+      $ files_arg $ all_workloads_flag $ corpus_arg $ replay_bundle_arg
+      $ stages_arg $ quiet_flag $ trace_arg)
   in
   let info =
     Cmd.info "lint" ~version:"1.0"

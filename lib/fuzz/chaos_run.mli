@@ -1,0 +1,52 @@
+(** The chaos harness: randomized fault injection against the protected
+    pipeline.
+
+    For each seed, a deterministic plan picks one pipeline stage and one
+    {!Cpr_resilience.Chaos.kind}, arms the (domain-local) injection
+    point, and runs that stage of the seed's generated program under
+    {!Cpr_pipeline.Passes.protected}.  The invariant under test: every
+    run either {e commits verified output} (transient faults absorbed by
+    the recovery retry) or {e degrades cleanly} to the verified fallback
+    with a crash bundle written — an exception escaping the protection
+    ([Escaped]) is a resilience bug. *)
+
+type status =
+  | Committed  (** verified output; the fault (if any) was absorbed *)
+  | Degraded of Cpr_resilience.Recover.failure
+      (** clean fallback; [failure.bundle] names the quarantine bundle *)
+  | Escaped of string  (** invariant violation: the exception got out *)
+
+type outcome = {
+  seed : int;
+  stage : string;  (** where the fault was armed *)
+  kind : Cpr_resilience.Chaos.kind;
+  status : status;
+}
+
+val plan_of_seed : int -> string * Cpr_resilience.Chaos.kind
+(** The deterministic (stage, kind) plan for a seed. *)
+
+val run_seed : ?bundle_dir:string -> int -> outcome
+(** Arm, run, disarm (always, also on escape).  [bundle_dir] defaults
+    to {!Cpr_resilience.Bundle.default_dir}. *)
+
+val run :
+  ?pool:Cpr_par.Pool.t -> ?bundle_dir:string -> lo:int -> hi:int -> unit
+  -> outcome list
+(** {!run_seed} over [lo..hi); [?pool] fans seeds across domains
+    (injection state is domain-local, so seeds stay isolated) and
+    results return in seed order either way. *)
+
+type summary = {
+  seeds : int;
+  committed : int;
+  degraded : int;
+  bundled : int;
+  escaped : (int * string * string) list;  (** seed, stage, exception *)
+}
+
+val summarize : outcome list -> summary
+val ok : summary -> bool
+(** No escapes. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -69,6 +69,7 @@ let render ~date ~domains ~results ~micro ~par =
         r.Report.s_tot r.Report.s_br r.Report.d_tot r.Report.d_br;
       add "      \"verify_s\": %.4f,\n" r.Report.verify_s;
       add "      \"total_s\": %.4f,\n" r.Report.total_s;
+      add "      \"degraded\": %b,\n" (Report.degraded r);
       let cycles key l =
         add "      \"%s\": {" key;
         List.iteri

@@ -1,5 +1,8 @@
 open Cpr_ir
 module Obs = Cpr_obs.Obs
+module Chaos = Cpr_resilience.Chaos
+module Recover = Cpr_resilience.Recover
+module Deadline = Cpr_deadline.Deadline
 
 type compiled = {
   prog : Prog.t;
@@ -16,6 +19,9 @@ let c_blocks_demoted = Obs.counter "icbm.blocks_demoted"
    the way in and out ("ops in/out per pass").  The counts are only
    computed when a telemetry sink is listening. *)
 let with_pass ~stage input f =
+  (* Cooperative cancellation point: a pooled caller running past its
+     budget unwinds here rather than starting another pass. *)
+  Deadline.check_current ();
   Obs.span ("pass/" ^ stage) (fun () ->
       let ops_in =
         if Obs.enabled () then Prog.static_op_count input else 0
@@ -97,6 +103,7 @@ let verify_stage ?(verify = true) ?verify_time ~stage ~before p =
 let baseline ?verify ?verify_time prog inputs =
   with_pass ~stage:"baseline" prog (fun () ->
       let p = prepare prog inputs in
+      Chaos.trip ~stage:"superblock" p;
       verify_stage ?verify ?verify_time ~stage:"superblock" ~before:prog p;
       { prog = p; icbm = None })
 
@@ -105,6 +112,7 @@ let height_reduce ?heur ?verify ?verify_time prog inputs =
       let p = prepare prog inputs in
       let before = Prog.copy p in
       let stats = Cpr_core.Icbm.run ?heur p in
+      Chaos.trip ~stage:"icbm" p;
       Validate.check_exn p;
       verify_stage ?verify ?verify_time ~stage:"icbm" ~before p;
       profile p inputs;
@@ -117,6 +125,12 @@ let height_reduce ?heur ?verify ?verify_time prog inputs =
    attributed to the narrowest stage that exhibits it. *)
 
 let finish ?verify ?verify_time ~stage ~before p inputs =
+  (* Chaos injection point: fires only when the chaos harness armed this
+     stage on this domain; a no-op in production.  Placed after the
+     transform and before validation so a [Corrupt] fault exercises
+     exactly the detection path (validate -> verify -> fallback) a real
+     miscompile would take. *)
+  Chaos.trip ~stage p;
   Validate.check_exn p;
   verify_stage ?verify ?verify_time ~stage ~before p;
   profile p inputs;
@@ -172,3 +186,57 @@ let unroll ?(factor = 2) ?verify ?verify_time prog inputs =
             ignore (Cpr_core.Unroll.unroll_region p r ~factor : bool))
         (Prog.regions p);
       finish ?verify ?verify_time ~stage:"unroll" ~before p inputs)
+
+type entry =
+  ?verify:bool ->
+  ?verify_time:float ref ->
+  Prog.t ->
+  Cpr_sim.Equiv.input list ->
+  compiled
+
+let stage_names =
+  [ "superblock"; "ifconv"; "frp"; "spec"; "unroll"; "fullcpr"; "icbm" ]
+
+let by_name : string -> entry option = function
+  | "superblock" | "baseline" -> Some baseline
+  | "ifconv" -> Some if_convert
+  | "frp" -> Some frp_convert
+  | "spec" -> Some speculate
+  | "unroll" -> Some (fun ?verify ?verify_time p i -> unroll ?verify ?verify_time p i)
+  | "fullcpr" -> Some full_cpr
+  | "icbm" ->
+    Some (fun ?verify ?verify_time p i -> height_reduce ?verify ?verify_time p i)
+  | _ -> None
+
+(* The verified fallback: a plain copy of the pre-pass IR, the last
+   program known good.  Never a partially transformed working copy —
+   passes mutate in place, so mid-pass state may violate invariants the
+   rest of the pipeline relies on, while the input was validated on the
+   way in.  Must be infallible ({!Recover.protect} does not sandbox the
+   fallback), hence the best-effort profile. *)
+let fallback_compiled prog inputs =
+  let p = Prog.copy prog in
+  (try profile p inputs with _ -> Prog.clear_profile p);
+  { prog = p; icbm = None }
+
+let protected ?heur ?verify ?verify_time ?(retries = 1) ?bundle_dir ?machine
+    ~stage prog inputs =
+  let run =
+    match stage with
+    | "icbm" ->
+      Some
+        (fun ?verify ?verify_time p i ->
+          height_reduce ?heur ?verify ?verify_time p i)
+    | s -> by_name s
+  in
+  match run with
+  | None -> invalid_arg ("Passes.protected: unknown stage " ^ stage)
+  | Some run ->
+    let on_failure =
+      Option.map
+        (fun dir fail -> Recover.bundle_to ~dir ?machine ~inputs prog fail)
+        bundle_dir
+    in
+    Recover.protect ~retries ?on_failure ~stage
+      ~fallback:(fun () -> fallback_compiled prog inputs)
+      (fun () -> run ?verify ?verify_time prog inputs)

@@ -87,3 +87,46 @@ val unroll :
   -> Cpr_sim.Equiv.input list -> compiled
 (** {!prepare} + unrolling of every unrollable self-loop ([factor]
     default 2). *)
+
+(** {2 Stage dispatch and sandboxed execution} *)
+
+type entry =
+  ?verify:bool -> ?verify_time:float ref -> Prog.t
+  -> Cpr_sim.Equiv.input list -> compiled
+
+val stage_names : string list
+(** Every dispatchable stage name, in pipeline order: [superblock],
+    [ifconv], [frp], [spec], [unroll], [fullcpr], [icbm]. *)
+
+val by_name : string -> entry option
+(** The entry point for a stage name ([baseline] is an alias of
+    [superblock]); [None] for unknown names.  Crash-bundle replay and
+    the chaos harness dispatch through this. *)
+
+val fallback_compiled : Prog.t -> Cpr_sim.Equiv.input list -> compiled
+(** The verified fallback for a failed stage: a plain profiled copy of
+    the {e pre-pass} IR — never a partially transformed working copy,
+    whose in-place mid-pass state may violate invariants downstream
+    stages rely on.  Infallible by construction (profiling is
+    best-effort): {!Cpr_resilience.Recover.protect} does not sandbox
+    the fallback thunk. *)
+
+val protected :
+  ?heur:Cpr_core.Heur.t ->
+  ?verify:bool ->
+  ?verify_time:float ref ->
+  ?retries:int ->
+  ?bundle_dir:string ->
+  ?machine:string ->
+  stage:string ->
+  Prog.t ->
+  Cpr_sim.Equiv.input list ->
+  compiled Cpr_resilience.Recover.protected
+(** Run the named stage under {!Cpr_resilience.Recover.protect}: on an
+    exception or a verifier rejection the result is
+    [Fell_back (fallback_compiled prog inputs, failure)] instead of a
+    raised exception, with one retry for transient faults (default
+    [retries = 1]).  [bundle_dir] additionally writes a replayable
+    crash bundle on failure ([machine] is recorded in its metadata;
+    [heur] applies to the [icbm] stage).  Raises [Invalid_argument] on
+    an unknown stage name. *)

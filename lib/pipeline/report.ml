@@ -1,5 +1,6 @@
 open Cpr_ir
 module Descr = Cpr_machine.Descr
+module Recover = Cpr_resilience.Recover
 
 type result = {
   name : string;
@@ -12,17 +13,31 @@ type result = {
   reduced_cycles : (string * int) list;
   icbm : Cpr_core.Icbm.region_stats;
   equivalent : (unit, string) Result.t;
+  failures : Recover.failure list;
   verify_s : float;
   total_s : float;
 }
 
-let run ?heur ~name prog inputs =
+let degraded r = r.failures <> []
+
+let run ?heur ?(recover = true) ?bundle_dir ~name prog inputs =
   Cpr_obs.Obs.span ~args:[ ("workload", name) ] ("workload/" ^ name)
   @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let verify_time = ref 0.0 in
-  let base = Passes.baseline ~verify_time prog inputs in
-  let reduced = Passes.height_reduce ?heur ~verify_time prog inputs in
+  let stage_p stage =
+    if recover then
+      Passes.protected ?heur ~verify_time ?bundle_dir ~stage prog inputs
+    else
+      Recover.Committed
+        (match stage with
+        | "icbm" -> Passes.height_reduce ?heur ~verify_time prog inputs
+        | _ -> Passes.baseline ~verify_time prog inputs)
+  in
+  let base_p = stage_p "superblock" in
+  let reduced_p = stage_p "icbm" in
+  let base = Recover.value base_p in
+  let reduced = Recover.value reduced_p in
   let equivalent =
     Cpr_sim.Equiv.check_many base.Passes.prog reduced.Passes.prog inputs
   in
@@ -58,18 +73,22 @@ let run ?heur ~name prog inputs =
       | Some s -> s
       | None -> Cpr_core.Icbm.zero_stats);
     equivalent;
+    failures = List.filter_map Recover.failure [ base_p; reduced_p ];
     verify_s = !verify_time;
     total_s = Unix.gettimeofday () -. t0;
   }
 
 let c_workloads = Cpr_obs.Obs.counter "report.workloads"
 
-let run_many ?pool ?heur jobs =
+let run_many ?pool ?heur ?recover ?bundle_dir jobs =
   Cpr_obs.Obs.span "report/run_many" @@ fun () ->
   Cpr_obs.Obs.add c_workloads (List.length jobs);
-  let one (name, prog, inputs) = run ?heur ~name prog inputs in
+  let one (name, prog, inputs) =
+    run ?heur ?recover ?bundle_dir ~name prog inputs
+  in
   match pool with
-  | Some p -> Cpr_par.Pool.map p one jobs
+  | Some p ->
+    Cpr_par.Pool.map ~label:(fun (name, _, _) -> name) p one jobs
   | None -> List.map one jobs
 
 let gmean = function

@@ -19,6 +19,11 @@ type result = {
   reduced_cycles : (string * int) list;
   icbm : Cpr_core.Icbm.region_stats;
   equivalent : (unit, string) Result.t;
+  failures : Cpr_resilience.Recover.failure list;
+      (** per-stage recovery records; empty on a clean run.  Non-empty
+          means the workload ran {e degraded}: the failing stage's
+          output was replaced by the verified pre-pass fallback, so its
+          numbers measure the fallback, not the optimization. *)
   verify_s : float;
       (** wall time the static verifier spent on this benchmark (both
           compiled codes); tracked by [bench --json] against its
@@ -28,12 +33,21 @@ type result = {
           verification, equivalence oracle and performance estimation *)
 }
 
+val degraded : result -> bool
+(** [failures <> []]. *)
+
 val run :
-  ?heur:Cpr_core.Heur.t -> name:string -> Prog.t -> Cpr_sim.Equiv.input list
-  -> result
+  ?heur:Cpr_core.Heur.t -> ?recover:bool -> ?bundle_dir:string
+  -> name:string -> Prog.t -> Cpr_sim.Equiv.input list -> result
+(** [recover] (default [true]) runs both compilations under
+    {!Passes.protected}: a pass failure degrades the workload (see
+    {!type:result.failures}) instead of aborting the suite.  With
+    [~recover:false] exceptions propagate as before.  [bundle_dir]
+    writes a replayable crash bundle per recovered failure. *)
 
 val run_many :
-  ?pool:Cpr_par.Pool.t -> ?heur:Cpr_core.Heur.t
+  ?pool:Cpr_par.Pool.t -> ?heur:Cpr_core.Heur.t -> ?recover:bool
+  -> ?bundle_dir:string
   -> (string * Prog.t * Cpr_sim.Equiv.input list) list -> result list
 (** {!run} over a whole suite.  [?pool] distributes benchmarks across
     domains; results come back in input order either way, so the two

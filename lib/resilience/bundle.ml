@@ -1,0 +1,89 @@
+module Obs = Cpr_obs.Obs
+
+let default_dir = "_crash"
+let c_written = Obs.counter "bundle.written"
+let input_file dir = Filename.concat dir "input.cpr"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write ?(dir = default_dir) ?machine ?(retries = 0) ?(findings = [])
+    ?(inputs = []) ~stage ~reason ~prog () =
+  match
+    let text = Cpr_ir.Printer.to_text prog in
+    let id =
+      Printf.sprintf "%s-%s" stage
+        (String.sub
+           (Digest.to_hex (Digest.string (stage ^ "\x00" ^ reason ^ "\x00" ^ text)))
+           0 12)
+    in
+    let bdir = Filename.concat dir id in
+    mkdir_p bdir;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      "# cpr crash bundle (replay with `lint --replay-bundle` or `fuzz \
+       --replay-bundle`)\n";
+    Buffer.add_string buf (Printf.sprintf "# stage: %s\n" stage);
+    Buffer.add_string buf (Printf.sprintf "# reason: %s\n" (one_line reason));
+    List.iter
+      (fun i ->
+        Buffer.add_string buf
+          (Printf.sprintf "# input: %s\n" (Cpr_sim.Equiv.input_to_string i)))
+      inputs;
+    Buffer.add_string buf text;
+    write_file (input_file bdir) (Buffer.contents buf);
+    let rendered_findings =
+      List.map (fun f -> Format.asprintf "%a" Cpr_verify.Finding.pp f) findings
+    in
+    let meta = Buffer.create 256 in
+    let add fmt = Printf.ksprintf (Buffer.add_string meta) fmt in
+    add "{\n  \"id\": \"%s\",\n" (json_escape id);
+    add "  \"stage\": \"%s\",\n" (json_escape stage);
+    add "  \"reason\": \"%s\",\n" (json_escape (one_line reason));
+    add "  \"retries\": %d,\n" retries;
+    (match machine with
+    | Some m -> add "  \"machine\": \"%s\",\n" (json_escape m)
+    | None -> ());
+    add "  \"inputs\": %d,\n" (List.length inputs);
+    add "  \"findings\": [";
+    List.iteri
+      (fun i f ->
+        add "%s\n    \"%s\"" (if i = 0 then "" else ",") (json_escape f))
+      rendered_findings;
+    add "%s]\n}\n" (if rendered_findings = [] then "" else "\n  ");
+    write_file (Filename.concat bdir "meta.json") (Buffer.contents meta);
+    if rendered_findings <> [] then
+      write_file
+        (Filename.concat bdir "findings.txt")
+        (String.concat "\n" rendered_findings ^ "\n");
+    if Obs.enabled () then
+      write_file (Filename.concat bdir "trace.json") (Obs.Trace.to_string ());
+    Obs.incr c_written;
+    bdir
+  with
+  | bdir -> Ok bdir
+  | exception Sys_error msg -> Error msg
+  | exception e -> Error (Printexc.to_string e)

@@ -1,0 +1,76 @@
+module Obs = Cpr_obs.Obs
+
+exception
+  Deadline_exceeded of {
+    label : string;
+    elapsed_ns : int64;
+    budget_ns : int64;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Deadline_exceeded { label; elapsed_ns; budget_ns } ->
+      Some
+        (Printf.sprintf "Deadline_exceeded(%s: %.1fms elapsed, %.1fms budget)"
+           label
+           (Int64.to_float elapsed_ns /. 1e6)
+           (Int64.to_float budget_ns /. 1e6))
+    | _ -> None)
+
+(* [started] doubles as the running flag: 0 means not started or already
+   finished, so a watchdog scanning a batch's tokens skips idle slots
+   without extra state.  Both fields are written by the owning task and
+   read (or, for [poisoned], written) by other domains, hence atomic. *)
+type t = {
+  label : string;
+  budget_ns : int64;
+  started : int64 Atomic.t;
+  poisoned : bool Atomic.t;
+}
+
+let c_trips = Obs.counter "pool.deadline_trips"
+
+let create ?(label = "task") ~budget_ns () =
+  { label; budget_ns; started = Atomic.make 0L; poisoned = Atomic.make false }
+
+let of_ms ?label ms = create ?label ~budget_ns:(Int64.of_float (ms *. 1e6)) ()
+let start t = Atomic.set t.started (Obs.now_ns ())
+let finish t = Atomic.set t.started 0L
+let running t = Atomic.get t.started <> 0L
+
+let elapsed_ns t =
+  match Atomic.get t.started with
+  | 0L -> 0L
+  | s -> Int64.sub (Obs.now_ns ()) s
+
+let overdue t = running t && elapsed_ns t > t.budget_ns
+let poison t = Atomic.set t.poisoned true
+let poisoned t = Atomic.get t.poisoned
+
+let trip t =
+  Obs.incr c_trips;
+  raise
+    (Deadline_exceeded
+       { label = t.label; elapsed_ns = elapsed_ns t; budget_ns = t.budget_ns })
+
+let check t = if poisoned t || overdue t then trip t
+
+let ambient : t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_current v = Domain.DLS.set ambient v
+let current () = Domain.DLS.get ambient
+
+let check_current () =
+  match Domain.DLS.get ambient with None -> () | Some t -> check t
+
+let with_budget ?label ~ms f =
+  let t = of_ms ?label ms in
+  let saved = current () in
+  start t;
+  set_current (Some t);
+  Fun.protect
+    ~finally:(fun () ->
+      set_current saved;
+      finish t)
+    f

@@ -1,0 +1,70 @@
+(** Cooperative per-task deadlines.
+
+    A token carries a time budget.  The code doing the work calls
+    {!check} (directly or through the domain-local ambient token and
+    {!check_current}) at convenient safe points; once the budget is
+    exhausted — or a watchdog has {!poison}ed the token from another
+    domain — the next checkpoint raises {!Deadline_exceeded}.  This is
+    {e cancellation by poisoning}: nothing is interrupted mid-flight,
+    the computation unwinds at a point it chose itself, so invariants
+    (locks, pool batches) are never torn.
+
+    Tokens are safe to read and poison from any domain.  The ambient
+    token is per-domain ([Domain.DLS]), set by the pool around each
+    task, so deeply nested code ({!Cpr_sched.List_sched}'s scheduling
+    loop, the pipeline's pass entries) can checkpoint without threading
+    a token through every signature.  {!check_current} with no ambient
+    token is a few nanoseconds — cheap enough for hot loops. *)
+
+exception
+  Deadline_exceeded of {
+    label : string;  (** the overrunning task, for attribution *)
+    elapsed_ns : int64;
+    budget_ns : int64;
+  }
+
+type t
+
+val create : ?label:string -> budget_ns:int64 -> unit -> t
+(** A fresh, not-yet-started token.  [label] defaults to ["task"]. *)
+
+val of_ms : ?label:string -> float -> t
+(** [create] with the budget given in milliseconds. *)
+
+val start : t -> unit
+(** Begin the clock.  Idempotent restarts are not supported: one token
+    guards one task attempt. *)
+
+val finish : t -> unit
+(** Stop the clock; a finished token no longer counts as {!running} and
+    never trips again. *)
+
+val running : t -> bool
+val elapsed_ns : t -> int64
+(** 0 when not running. *)
+
+val overdue : t -> bool
+(** Running and past its budget (poisoning aside). *)
+
+val poison : t -> unit
+(** Mark the token from outside (a watchdog): the owner's next {!check}
+    raises.  Safe from any domain; idempotent. *)
+
+val poisoned : t -> bool
+
+val check : t -> unit
+(** Raise {!Deadline_exceeded} if the token is poisoned or overdue,
+    bumping the [pool.deadline_trips] counter.  Otherwise free. *)
+
+(** {2 The ambient (domain-local) token} *)
+
+val set_current : t option -> unit
+val current : unit -> t option
+
+val check_current : unit -> unit
+(** {!check} on this domain's ambient token; no-op when none is set. *)
+
+val with_budget : ?label:string -> ms:float -> (unit -> 'a) -> 'a
+(** Run [f] under a fresh started token installed as the ambient one
+    (restoring the previous ambient token afterwards).  [f]'s
+    checkpoints then bound its runtime to [ms] milliseconds. *)

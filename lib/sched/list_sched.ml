@@ -2,6 +2,7 @@ open Cpr_ir
 module Descr = Cpr_machine.Descr
 module Resource = Cpr_machine.Resource
 module Depgraph = Cpr_analysis.Depgraph
+module Deadline = Cpr_deadline.Deadline
 module IntSet = Set.Make (Int)
 
 (* Shared by both schedulers: candidate order is decreasing critical-path
@@ -48,6 +49,9 @@ let schedule_reference machine prog liveness (region : Region.t) =
   let fuel = ref ((n + 1) * 16) in
   while !unscheduled > 0 && !fuel > 0 do
     decr fuel;
+    (* Cooperative cancellation point: unwinds with [Deadline_exceeded]
+       when the pool watchdog has poisoned this task's budget. *)
+    Deadline.check_current ();
     (* Zero- and negative-latency edges (branch anticipation, anti
        dependences) allow producer and consumer in the same cycle, so
        placements cascade within a cycle until fixpoint. *)
@@ -124,6 +128,8 @@ let schedule machine prog liveness (region : Region.t) =
   done;
   while !unscheduled > 0 && !fuel > 0 do
     decr fuel;
+    (* Same cancellation point as the reference scheduler. *)
+    Deadline.check_current ();
     (match Hashtbl.find_opt buckets !current with
     | Some l ->
       avail := List.rev_append l !avail;
@@ -172,11 +178,21 @@ let schedule machine prog liveness (region : Region.t) =
          region.Region.label);
   finish machine region ops cycle
 
-let schedule_prog ?pool machine prog =
+let schedule_prog ?pool ?budget_ms machine prog =
   let liveness = Cpr_analysis.Liveness.analyze prog in
   let one (r : Region.t) =
     (r.Region.label, schedule machine prog liveness r)
   in
+  let label (r : Region.t) = r.Region.label in
   match pool with
-  | Some p -> Cpr_par.Pool.map p one (Prog.regions prog)
-  | None -> List.map one (Prog.regions prog)
+  | Some p -> Cpr_par.Pool.map ?budget_ms ~label p one (Prog.regions prog)
+  | None -> (
+    match budget_ms with
+    | None -> List.map one (Prog.regions prog)
+    | Some ms ->
+      (* No pool, but still honor the budget: without a watchdog domain
+         the token is only checked (never poisoned) — the elapsed test
+         in [check_current] still trips overdue regions. *)
+      List.map
+        (fun r -> Deadline.with_budget ~label:(label r) ~ms (fun () -> one r))
+        (Prog.regions prog))

@@ -61,3 +61,74 @@ let check_many reference candidate inputs =
   List.fold_left
     (fun acc input -> match acc with Error _ -> acc | Ok () -> check reference candidate input)
     (Ok ()) inputs
+
+(* ------------------------------------------------------------------ *)
+(* One-line textual input serialization, shared by the fuzz corpus
+   artifacts and the resilience layer's crash bundles (both store one
+   [# input: ...] comment line per training input). *)
+
+let reg_of_string s =
+  if String.length s < 2 then invalid_arg ("bad register " ^ s)
+  else begin
+    let id = int_of_string (String.sub s 1 (String.length s - 1)) in
+    match s.[0] with
+    | 'r' -> Reg.gpr id
+    | 'p' -> Reg.pred id
+    | 'b' -> Reg.btr id
+    | _ -> invalid_arg ("bad register " ^ s)
+  end
+
+let input_to_string i =
+  let pair (k, v) = Printf.sprintf "%d=%d" k v in
+  let rpair (r, v) = Printf.sprintf "%s=%d" (Reg.to_string r) v in
+  let bpair (r, b) =
+    Printf.sprintf "%s=%d" (Reg.to_string r) (if b then 1 else 0)
+  in
+  let groups =
+    List.filter
+      (fun s -> s <> "")
+      [
+        (if i.memory = [] then ""
+         else "mem " ^ String.concat " " (List.map pair i.memory));
+        (if i.gprs = [] then ""
+         else "gpr " ^ String.concat " " (List.map rpair i.gprs));
+        (if i.preds = [] then ""
+         else "pred " ^ String.concat " " (List.map bpair i.preds));
+      ]
+  in
+  String.concat " ; " groups
+
+let input_of_string s =
+  let parse_kv kv =
+    match String.index_opt kv '=' with
+    | Some i ->
+      ( String.sub kv 0 i,
+        int_of_string (String.sub kv (i + 1) (String.length kv - i - 1)) )
+    | None -> invalid_arg ("bad binding " ^ kv)
+  in
+  let input = ref no_input in
+  List.iter
+    (fun group ->
+      match
+        List.filter
+          (fun t -> t <> "")
+          (String.split_on_char ' ' (String.trim group))
+      with
+      | [] -> ()
+      | kind :: kvs ->
+        let kvs = List.map parse_kv kvs in
+        let i = !input in
+        input :=
+          (match kind with
+          | "mem" ->
+            { i with memory = List.map (fun (a, v) -> (int_of_string a, v)) kvs }
+          | "gpr" ->
+            { i with gprs = List.map (fun (r, v) -> (reg_of_string r, v)) kvs }
+          | "pred" ->
+            {
+              i with
+              preds = List.map (fun (r, v) -> (reg_of_string r, v <> 0)) kvs;
+            }
+          | k -> invalid_arg ("bad input group " ^ k)))
+    (String.split_on_char ';' s);
+  !input

@@ -17,6 +17,14 @@ type input = {
 val no_input : input
 val input_of_memory : (int * int) list -> input
 
+val input_to_string : input -> string
+(** One-line rendering ([mem a=v ... ; gpr rN=v ... ; pred pN=0/1 ...])
+    used by the fuzz-corpus artifacts and the crash bundles. *)
+
+val input_of_string : string -> input
+(** Inverse of {!input_to_string}.  Raises [Invalid_argument] or
+    [Failure] on malformed text. *)
+
 val run_on : Prog.t -> input -> Interp.outcome
 
 val check : Prog.t -> Prog.t -> input -> (unit, string) result

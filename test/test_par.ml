@@ -32,6 +32,7 @@ let exception_propagation () =
   Pool.with_pool ~domains:3 (fun pool ->
       (match
          Pool.map pool
+           ~label:(fun x -> "task-" ^ string_of_int x)
            (fun x ->
              if x = 7 then failwith "boom7"
              else if x = 5 then failwith "boom5"
@@ -39,8 +40,11 @@ let exception_propagation () =
            (List.init 20 Fun.id)
        with
       | _ -> Alcotest.fail "expected the batch to raise"
-      | exception Failure msg ->
-        check Alcotest.string "earliest failing task wins" "boom5" msg);
+      | exception Pool.Task_failed { index; label; cause; _ } ->
+        checki "earliest failing task wins" 5 index;
+        check Alcotest.string "task label attributed" "task-5" label;
+        check Alcotest.string "underlying exception preserved" "boom5"
+          (match cause with Failure m -> m | e -> Printexc.to_string e));
       (* The failed batch must leave the pool usable. *)
       check
         Alcotest.(list int)
