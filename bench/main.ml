@@ -98,7 +98,12 @@ let tolerance =
 (* [--trace FILE]: enable Cpr_obs and export the run as a Chrome-trace
    JSON (chrome://tracing, Perfetto), plus a span summary on stderr. *)
 let trace_target = flag_value "--trace"
-let () = if trace_target <> None then Obs.set_enabled true
+
+(* Counters (pqs, pass, verify families) must accumulate whenever the
+   run will be persisted, not just when a trace is requested: the JSON
+   artifact reports predicate-engine cache effectiveness. *)
+let () =
+  if trace_target <> None || json_target <> None then Obs.set_enabled true
 
 let suite () =
   if quick then
@@ -436,6 +441,29 @@ let micro_tests =
               (Cpr_sched.List_sched.schedule_prog Cpr_machine.Descr.medium
                  (Lazy.force prog)
                 : (string * Cpr_sched.Schedule.t) list)));
+    (* predicate engine: all-pairs guard queries over the prepared loop —
+       after the first run every disjoint/implies answer is a memo hit,
+       which is exactly the steady state the depgraph builder sees *)
+    Test.make ~name:"analysis/pqs-queries"
+      (Staged.stage
+         (let env =
+            lazy
+              (let prog = prepared_loop () in
+               Cpr_analysis.Pred_env.analyze (Prog.find_exn prog "Loop"))
+          in
+          fun () ->
+            let env = Lazy.force env in
+            let n = Array.length (Cpr_analysis.Pred_env.ops env) in
+            let proved = ref 0 in
+            for i = 0 to n - 1 do
+              let gi = Cpr_analysis.Pred_env.guard_expr env i in
+              for j = i + 1 to n - 1 do
+                let gj = Cpr_analysis.Pred_env.guard_expr env j in
+                if Cpr_analysis.Pqs.disjoint gi gj then incr proved;
+                if Cpr_analysis.Pqs.implies gi gj then incr proved
+              done
+            done;
+            ignore !proved));
     Test.make ~name:"sim/interp-strcpy-400"
       (Staged.stage
          (let prog = lazy (Lazy.force strcpy_prog) in
@@ -510,12 +538,27 @@ let measure_parallel () =
   let f1 = fuzz_rate 1 and fn = fuzz_rate domains in
   ((s1, sn), (f1, fn))
 
+let pqs_counter_names =
+  [
+    "pqs.queries";
+    "pqs.fast_path_hits";
+    "pqs.interned";
+    "pqs.memo_hits";
+    "pqs.memo_misses";
+  ]
+
 let write_json ~dated ~latest results micro par =
   let prev = Option.value ~default:"" (P.Bench_io.read_file latest) in
   let prev_micro = P.Bench_io.read_micro prev in
   let prev_verify = P.Bench_io.read_scalar prev "verify_total_s" in
+  let pqs =
+    List.filter
+      (fun (name, _) -> List.mem name pqs_counter_names)
+      (Obs.counters ())
+  in
   let contents =
-    P.Bench_io.render ~date:(bench_date ()) ~domains ~results ~micro ~par
+    P.Bench_io.render ~pqs ~date:(bench_date ()) ~domains ~results ~micro ~par
+      ()
   in
   List.iter
     (fun path ->
@@ -535,12 +578,37 @@ let write_json ~dated ~latest results micro par =
         | _ -> ())
       (List.sort compare micro)
   end;
-  match (prev_verify, results) with
+  (match (prev_verify, results) with
   | Some p, _ :: _ when p > 0. ->
     let v, _ = P.Bench_io.suite_seconds results in
     Format.printf "@.static verifier vs previous: %.3fs -> %.3fs (x%.2f)@." p
       v (v /. p)
-  | _ -> ()
+  | _ -> ());
+  (* Predicate-engine cache effectiveness, against the previous run when
+     one is on disk.  Counts are workload-dependent, so only the hit
+     rate is comparable across differently-sized runs. *)
+  let rate hits misses =
+    let total = hits +. misses in
+    if total > 0. then 100. *. hits /. total else 0.
+  in
+  let cur = function
+    | name -> (
+      match List.assoc_opt name pqs with Some v -> float_of_int v | None -> 0.)
+  in
+  if pqs <> [] then begin
+    Format.printf
+      "@.pqs: %.0f queries, %.0f interned, memo hit rate %.1f%%"
+      (cur "pqs.queries") (cur "pqs.interned")
+      (rate (cur "pqs.memo_hits") (cur "pqs.memo_misses"));
+    (match
+       ( P.Bench_io.read_scalar prev "pqs.memo_hits",
+         P.Bench_io.read_scalar prev "pqs.memo_misses" )
+     with
+    | Some h, Some m when h +. m > 0. ->
+      Format.printf " (previous %.1f%%)" (rate h m)
+    | _ -> ());
+    Format.printf "@."
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Baseline gate (--check)                                             *)
@@ -563,6 +631,15 @@ let run_check ~baseline_path baseline results =
           (r.P.Report.name, r.P.Report.verify_s, r.P.Report.total_s))
         results
     in
+    (* A baseline workload absent from this run is skipped by the gate —
+       warn so a workload that silently stopped running doesn't pass
+       forever.  (--quick against a full-suite baseline warns by design.) *)
+    List.iter
+      (fun name ->
+        Format.eprintf
+          "--check: warning: baseline workload %s not in this run; not gated@."
+          name)
+      (P.Bench_io.missing_from_current ~baseline ~current);
     let deltas = P.Bench_io.check ~tolerance ~baseline ~current in
     if deltas = [] then begin
       Format.eprintf

@@ -28,20 +28,54 @@ let root = function
   | Entry_base r | Segment (r, _) -> Some r
   | Const_base | Opaque _ -> None
 
-(* Find the index of the last def of [r] strictly before [idx]. *)
-let last_def ops r idx =
-  let rec go k best =
-    if k >= idx then best
-    else
-      go (k + 1)
-        (if List.exists (Reg.equal r) (Op.defs ops.(k)) then Some k else best)
-  in
-  go 0 None
+(* Ascending def-site indices per register, computed in one pass so that
+   [chase] resolves "last def of [r] before [idx]" by walking a small
+   per-register array instead of rescanning the whole op prefix (which
+   made address resolution O(ops^2) per region).  Registers index the
+   slot array arithmetically — [Reg.cls_rank cls * stride + id], with
+   [stride] bounding every per-class id in the region — so no hashing. *)
+type sites = {
+  stride : int;
+  defs : int array array;  (* slot -> ascending def op indices *)
+}
 
-let rec chase ops r idx fuel =
+let def_sites ops =
+  let stride =
+    let s = ref 1 in
+    let see (r : Reg.t) = if r.Reg.id >= !s then s := r.Reg.id + 1 in
+    Array.iter
+      (fun (op : Op.t) ->
+        List.iter
+          (function Op.Reg x -> see x | Op.Imm _ | Op.Lab _ -> ())
+          op.Op.srcs;
+        (match op.Op.guard with Op.If g -> see g | Op.True -> ());
+        List.iter see op.Op.dests)
+      ops;
+    !s
+  in
+  let rev = Array.make (3 * stride) [] in
+  Array.iteri
+    (fun k op ->
+      List.iter
+        (fun (d : Reg.t) ->
+          let ix = (Reg.cls_rank d.Reg.cls * stride) + d.Reg.id in
+          rev.(ix) <- k :: rev.(ix))
+        (Op.defs op))
+    ops;
+  { stride; defs = Array.map (fun l -> Array.of_list (List.rev l)) rev }
+
+(* Index of the last def of [r] strictly before [idx]. *)
+let last_def sites (r : Reg.t) idx =
+  let a = sites.defs.((Reg.cls_rank r.Reg.cls * sites.stride) + r.Reg.id) in
+  let rec go i =
+    if i < 0 then None else if a.(i) < idx then Some a.(i) else go (i - 1)
+  in
+  go (Array.length a - 1)
+
+let rec chase ops sites r idx fuel =
   if fuel = 0 then None
   else
-    match last_def ops r idx with
+    match last_def sites r idx with
     | None -> Some { base = Entry_base r; off = 0 }
     | Some k -> (
       let op = ops.(k) in
@@ -51,41 +85,43 @@ let rec chase ops r idx fuel =
         match (op.Op.opcode, op.Op.srcs) with
         | Op.Alu Op.Add, [ Op.Reg a; Op.Imm c ] | Op.Alu Op.Add, [ Op.Imm c; Op.Reg a ]
           -> (
-          match chase ops a k (fuel - 1) with
+          match chase ops sites a k (fuel - 1) with
           | Some addr -> Some { addr with off = addr.off + c }
           | None -> None)
         | Op.Alu Op.Add, [ Op.Reg a; Op.Reg b ] -> (
           (* base + computed index: rooted at whichever side resolves to a
              region-entry register *)
-          match (chase ops a k (fuel - 1), chase ops b k (fuel - 1)) with
+          match (chase ops sites a k (fuel - 1), chase ops sites b k (fuel - 1))
+          with
           | Some { base = Entry_base ra; off }, _ ->
             Some { base = Segment (ra, op.Op.id); off }
           | _, Some { base = Entry_base rb; off } ->
             Some { base = Segment (rb, op.Op.id); off }
           | _ -> opaque)
         | Op.Alu Op.Sub, [ Op.Reg a; Op.Imm c ] -> (
-          match chase ops a k (fuel - 1) with
+          match chase ops sites a k (fuel - 1) with
           | Some addr -> Some { addr with off = addr.off - c }
           | None -> None)
-        | Op.Alu Op.Mov, [ _; Op.Reg a ] -> chase ops a k (fuel - 1)
+        | Op.Alu Op.Mov, [ _; Op.Reg a ] -> chase ops sites a k (fuel - 1)
         | Op.Alu Op.Mov, [ _; Op.Imm c ] -> Some { base = Const_base; off = c }
         | _ -> opaque)
 
-let addr_of_op ops idx =
+let addr_of_op ops sites idx =
   let op = ops.(idx) in
   match (op.Op.opcode, op.Op.srcs) with
   | Op.Load, [ Op.Reg base; Op.Imm off ]
   | Op.Store, [ Op.Reg base; Op.Imm off; _ ] -> (
-    match chase ops base idx 32 with
+    match chase ops sites base idx 32 with
     | Some a -> Some { a with off = a.off + off }
     | None -> None)
   | _ -> None
 
 let analyze (prog : Prog.t) (r : Region.t) =
   let ops = Array.of_list r.Region.ops in
+  let sites = def_sites ops in
   {
     noalias = Reg.Set.of_list prog.Prog.noalias_bases;
-    addrs = Array.init (Array.length ops) (addr_of_op ops);
+    addrs = Array.init (Array.length ops) (addr_of_op ops sites);
   }
 
 let addr_of t idx = t.addrs.(idx)

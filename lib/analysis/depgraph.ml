@@ -26,65 +26,76 @@ type t = {
   succs : edge list array;
 }
 
-type flavor =
-  | Or_acc
-  | And_acc
+(* Access events are packed small ints, [(op index lsl 3) lor code]:
+   code 0 = use, 1 = unconditionally-killing def (unguarded plain def,
+   or a UN/UC [cmpp] destination, which writes even under a false
+   guard), 2 = guarded def, 3/4 = wired-or / wired-and accumulator
+   read-modify-write.  The kill bit is precomputed here so the pairwise
+   edge loop below never re-derives it per pair. *)
+let ev_use = 0
+let ev_def_kill = 1
+let ev_def = 2
+let ev_acc_or = 3
+let ev_acc_and = 4
 
-type access =
-  | Use
-  | Def  (** plain destination write *)
-  | Acc of flavor  (** wired-or / wired-and read-modify-write *)
+let acc_code_of_action = function
+  | Op.On | Op.Oc -> ev_acc_or
+  | Op.An | Op.Ac -> ev_acc_and
+  | Op.Un | Op.Uc -> ev_def_kill
 
-let flavor_of_action = function
-  | Op.On | Op.Oc -> Some Or_acc
-  | Op.An | Op.Ac -> Some And_acc
-  | Op.Un | Op.Uc -> None
+(* A per-register growing buffer of packed events, appended in program
+   order (no per-event tuple or list cell — the pair loops below scan
+   flat int arrays). *)
+type evbuf = {
+  mutable buf : int array;
+  mutable len : int;
+}
+
+let ev_push b ev =
+  if b.len = Array.length b.buf then begin
+    let bigger = Array.make (2 * b.len) 0 in
+    Array.blit b.buf 0 bigger 0 b.len;
+    b.buf <- bigger
+  end;
+  b.buf.(b.len) <- ev;
+  b.len <- b.len + 1
 
 (* Per-register access events over a whole op array, in one pass:
-   [events.(r)] lists [(op index, access)] with indices ascending and,
-   within one op, accesses in evaluation order (uses first).  Replaces
-   the old per-register rescan of every op, which made register edge
-   construction O(ops x registers). *)
-let access_events ops =
-  let events : (int * access) list ref Reg.Tbl.t =
-    Reg.Tbl.create (2 * Array.length ops)
-  in
-  let push r ev =
-    match Reg.Tbl.find_opt events r with
-    | Some l -> l := ev :: !l
-    | None -> Reg.Tbl.add events r (ref [ ev ])
+   events per register in ascending op-index order and, within one op,
+   in evaluation order (uses first).  Replaces the old per-register
+   rescan of every op, which made register edge construction
+   O(ops x registers).  Registers index the slot array arithmetically
+   ([Reg.cls_rank cls * stride + id]), so the pass does no hashing and
+   ascending slot order is exactly [Reg.compare] order. *)
+let access_events stride ops =
+  let events : evbuf option array = Array.make (3 * stride) None in
+  let push (r : Reg.t) ev =
+    let ix = (Reg.cls_rank r.Reg.cls * stride) + r.Reg.id in
+    match events.(ix) with
+    | Some b -> ev_push b ev
+    | None -> events.(ix) <- Some { buf = Array.make 4 ev; len = 1 }
   in
   Array.iteri
     (fun i (op : Op.t) ->
       List.iter
-        (function Op.Reg x -> push x (i, Use) | Op.Imm _ | Op.Lab _ -> ())
+        (function
+          | Op.Reg x -> push x ((i lsl 3) lor ev_use)
+          | Op.Imm _ | Op.Lab _ -> ())
         op.Op.srcs;
       (match op.Op.guard with
-      | Op.If g -> push g (i, Use)
+      | Op.If g -> push g ((i lsl 3) lor ev_use)
       | Op.True -> ());
       match op.Op.opcode with
       | Op.Cmpp (_, a1, a2) ->
         List.iter2
-          (fun act d ->
-            push d
-              ( i,
-                match flavor_of_action act with
-                | Some f -> Acc f
-                | None -> Def ))
+          (fun act d -> push d ((i lsl 3) lor acc_code_of_action act))
           (a1 :: Option.to_list a2)
           op.Op.dests
-      | _ -> List.iter (fun d -> push d (i, Def)) op.Op.dests)
+      | _ ->
+        let code = if op.Op.guard = Op.True then ev_def_kill else ev_def in
+        List.iter (fun d -> push d ((i lsl 3) lor code)) op.Op.dests)
     ops;
   events
-
-(* Does the op unconditionally kill [r]?  Guarded plain defs and
-   accumulator writes do not; UN/UC cmpp destinations write even under a
-   false guard. *)
-let kills_unconditionally (op : Op.t) r =
-  List.exists (Reg.equal r) (Op.writes_when_guard_false op)
-  || (op.Op.guard = Op.True
-     && List.exists (Reg.equal r) (Op.defs op)
-     && not (List.exists (Reg.equal r) (Op.accumulator_dests op)))
 
 let build machine (prog : Prog.t) liveness (region : Region.t) =
   let ops = Array.of_list region.Region.ops in
@@ -109,48 +120,72 @@ let build machine (prog : Prog.t) liveness (region : Region.t) =
     incr n_edges
   in
 
-  (* Register dependences, one register at a time. *)
-  let reg_edges r evs =
-    let rec pairs = function
-      | [] -> ()
-      | (i, ai) :: rest ->
-        let killed = ref false in
-        List.iter
-          (fun (j, aj) ->
-            if i <> j && not !killed then begin
-              (match (ai, aj) with
-              | Acc f1, Acc f2 when f1 = f2 -> ()
-              | (Def | Acc _), Use -> add i j (Flow r) lat.(i)
-              | Use, (Def | Acc _) -> add i j (Anti r) (1 - lat.(j))
-              | (Def | Acc _), Acc _ -> add i j (Flow r) lat.(i)
-              | (Def | Acc _), Def -> add i j (Output r) (lat.(i) - lat.(j) + 1)
-              | Use, Use -> ());
-              (* Stop extending pairs from [i] past an unconditional kill:
-                 transitivity through the killer preserves ordering.  The
-                 kill takes effect at the killer's *definition* event —
-                 a read-modify-write op's own use event must not hide its
-                 def from earlier events. *)
-              if
-                (match aj with
-                | Def -> kills_unconditionally ops.(j) r
-                | Acc _ | Use -> false)
-                && j > i
-              then killed := true
-            end)
-          rest;
-        pairs rest
+  (* Register dependences, one register at a time: every ordered event
+     pair (a, b) with a before b in program order, truncated past an
+     unconditional kill — transitivity through the killer preserves
+     ordering.  The kill takes effect at the killer's *definition* event
+     (a read-modify-write op's own use event must not hide its def from
+     earlier events), and same-op pairs are skipped.  The edge cases
+     mirror the old variant match: same-flavor accumulator pairs
+     commute, def/acc-to-use is flow, use-to-def/acc is anti,
+     def/acc-to-acc is flow, def/acc-to-def is output. *)
+  let reg_edges r (ev : evbuf) =
+    let buf = ev.buf and m = ev.len in
+    for a = 0 to m - 1 do
+      let ea = buf.(a) in
+      let i = ea lsr 3 and ca = ea land 7 in
+      let killed = ref false in
+      let b = ref (a + 1) in
+      while (not !killed) && !b < m do
+        let eb = buf.(!b) in
+        let j = eb lsr 3 and cb = eb land 7 in
+        if i <> j then begin
+          if ca >= ev_acc_or && ca = cb then ()
+          else if ca <> ev_use && cb = ev_use then add i j (Flow r) lat.(i)
+          else if ca = ev_use && cb <> ev_use then
+            add i j (Anti r) (1 - lat.(j))
+          else if ca <> ev_use && cb >= ev_acc_or then add i j (Flow r) lat.(i)
+          else if ca <> ev_use && cb <> ev_use then
+            add i j (Output r) (lat.(i) - lat.(j) + 1);
+          if cb = ev_def_kill && j > i then killed := true
+        end;
+        incr b
+      done
+    done
+  in
+  (* Visit registers in ascending [Reg.compare] order — the same order
+     [Reg.Set.iter] used to produce — so edge order is unchanged; with
+     arithmetic indexing that is simply ascending slot order. *)
+  let stride =
+    let s =
+      ref
+        (max 1
+           (max prog.Prog.next_gpr
+              (max prog.Prog.next_pred prog.Prog.next_btr)))
     in
-    pairs evs
+    let see (r : Reg.t) = if r.Reg.id >= !s then s := r.Reg.id + 1 in
+    Array.iter
+      (fun (op : Op.t) ->
+        List.iter
+          (function Op.Reg x -> see x | Op.Imm _ | Op.Lab _ -> ())
+          op.Op.srcs;
+        (match op.Op.guard with Op.If g -> see g | Op.True -> ());
+        List.iter see op.Op.dests)
+      ops;
+    !s
   in
-  (* Visit registers in the same sorted order [Reg.Set.iter] over the
-     region's registers used to, so edge order is unchanged. *)
-  let events = access_events ops in
-  let regs =
-    Reg.Tbl.fold (fun r _ acc -> Reg.Set.add r acc) events Reg.Set.empty
-  in
-  Reg.Set.iter
-    (fun r -> reg_edges r (List.rev !(Reg.Tbl.find events r)))
-    regs;
+  let events = access_events stride ops in
+  for ix = 0 to Array.length events - 1 do
+    match events.(ix) with
+    | Some ev ->
+      let cls =
+        if ix < stride then Reg.Gpr
+        else if ix < 2 * stride then Reg.Pred
+        else Reg.Btr
+      in
+      reg_edges { Reg.id = ix mod stride; cls } ev
+    | None -> ()
+  done;
 
   (* Memory dependences. *)
   let alias = Alias.analyze prog region in
@@ -175,11 +210,19 @@ let build machine (prog : Prog.t) liveness (region : Region.t) =
   for b = 0 to n - 1 do
     if Op.is_branch ops.(b) then begin
       let taken = guard_expr.(b) in
+      (* [disjoint x tru] holds only when [x] is const-false (or proves
+         so), so the dominant unguarded-op case resolves on one constant
+         test instead of a full query. *)
+      let taken_live = not (Pqs.is_const_false taken) in
       let live = Liveness.live_at_target liveness region ops.(b) in
       (* Forward: ops after the branch. *)
       for j = b + 1 to n - 1 do
         let opj = ops.(j) in
-        if not (Pqs.disjoint taken guard_expr.(j)) then
+        let compatible =
+          if Pqs.is_const_true guard_expr.(j) then taken_live
+          else not (Pqs.disjoint taken guard_expr.(j))
+        in
+        if compatible then
           if Op.is_branch opj || Op.is_store opj then add b j Ctrl lat.(b)
           else
             List.iter
@@ -191,7 +234,11 @@ let build machine (prog : Prog.t) liveness (region : Region.t) =
          transfers at [issue(b) + lat(b)]. *)
       for i = 0 to b - 1 do
         let opi = ops.(i) in
-        if not (Pqs.disjoint guard_expr.(i) taken) then
+        let compatible =
+          if Pqs.is_const_true guard_expr.(i) then taken_live
+          else not (Pqs.disjoint guard_expr.(i) taken)
+        in
+        if compatible then
           if Op.is_store opi then
             add i b Br_anticipation (lat.(i) - lat.(b))
           else if

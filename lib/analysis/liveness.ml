@@ -1,16 +1,5 @@
 open Cpr_ir
 
-type t = {
-  prog : Prog.t;
-  table : (string, Reg.Set.t) Hashtbl.t;
-}
-
-let boundary (p : Prog.t) = Reg.Set.of_list p.Prog.live_out
-
-let live_in t label =
-  if Prog.is_exit t.prog label then boundary t.prog
-  else Option.value ~default:Reg.Set.empty (Hashtbl.find_opt t.table label)
-
 let kills (op : Op.t) =
   let unconditional =
     match op.Op.guard with
@@ -22,55 +11,165 @@ let kills (op : Op.t) =
   in
   unconditional @ Op.writes_when_guard_false op
 
-(* Backward transfer through one region given liveness at its exits. *)
-let transfer t (r : Region.t) =
-  let live =
-    ref
-      (match r.Region.fallthrough with
-      | Some l -> live_in t l
-      | None -> boundary t.prog)
-  in
-  let step (op : Op.t) =
-    if Op.is_branch op then begin
-      match Region.branch_target r op with
-      | Some target -> live := Reg.Set.union !live (live_in t target)
-      | None -> ()
-    end;
-    live := Reg.Set.diff !live (Reg.Set.of_list (kills op));
-    live := Reg.Set.union !live (Reg.Set.of_list (Op.uses op))
-  in
-  List.iter step (List.rev r.Region.ops);
-  !live
+(* The fixpoint runs over packed bitsets with registers indexed densely
+   (every register appearing in an op or in [live_out] gets a slot) and
+   each region precompiled into reverse-order transfer steps, so the
+   per-iteration work is word-wide boolean algebra on preresolved index
+   arrays — no per-op [Reg.Set.of_list], no tree rebalancing.  Reg.Set
+   views are materialized lazily (and cached per label) at the API
+   boundary only. *)
+type step = {
+  target : string option;  (* branch target to merge, for branches *)
+  kill_ix : int array;
+  use_ix : int array;
+}
 
+type t = {
+  prog : Prog.t;
+  stride : int;  (* per-class id bound: index = rank * stride + id *)
+  table : (string, Bitset.t) Hashtbl.t;
+  boundary_bits : Bitset.t;
+  boundary_set : Reg.Set.t;
+  set_cache : (string, Reg.Set.t) Hashtbl.t;
+}
+
+let rank = function Reg.Gpr -> 0 | Reg.Pred -> 1 | Reg.Btr -> 2
+
+let reg_of_ix stride ix =
+  let cls =
+    if ix < stride then Reg.Gpr else if ix < 2 * stride then Reg.Pred
+    else Reg.Btr
+  in
+  { Reg.id = ix mod stride; cls }
+
+(* The register universe is indexed arithmetically — [rank cls * stride
+   + id], with [stride] bounding every per-class id — so compiling ops
+   to transfer steps involves no hash table at all.  The generator
+   counters usually give the bound, but hand-assembled regions can lag
+   them ([Prog.replace_region] does not resync), so an allocation-free
+   prescan takes the max with what actually appears. *)
 let analyze (prog : Prog.t) =
-  let t = { prog; table = Hashtbl.create 17 } in
+  let regions = Prog.regions prog in
+  let stride =
+    ref
+      (max 1
+         (max prog.Prog.next_gpr (max prog.Prog.next_pred prog.Prog.next_btr)))
+  in
+  let see (r : Reg.t) = if r.Reg.id >= !stride then stride := r.Reg.id + 1 in
+  List.iter see prog.Prog.live_out;
+  List.iter
+    (fun (r : Region.t) ->
+      List.iter
+        (fun (op : Op.t) ->
+          List.iter
+            (function Op.Reg x -> see x | Op.Imm _ | Op.Lab _ -> ())
+            op.Op.srcs;
+          (match op.Op.guard with Op.If g -> see g | Op.True -> ());
+          List.iter see op.Op.dests)
+        r.Region.ops)
+    regions;
+  let stride = !stride in
+  let ix_of (r : Reg.t) = (rank r.Reg.cls * stride) + r.Reg.id in
+  let ix l = Array.of_list (List.map ix_of l) in
+  let order =
+    List.rev_map
+      (fun (r : Region.t) ->
+        let steps =
+          Array.of_list
+            (List.rev_map
+               (fun (op : Op.t) ->
+                 {
+                   target =
+                     (if Op.is_branch op then Region.branch_target r op
+                      else None);
+                   kill_ix = ix (kills op);
+                   use_ix = ix (Op.uses op);
+                 })
+               r.Region.ops)
+        in
+        (r.Region.label, r.Region.fallthrough, steps))
+      regions
+  in
+  let n = 3 * stride in
+  let boundary_bits = Bitset.create n in
+  List.iter
+    (fun r -> Bitset.set boundary_bits (ix_of r))
+    prog.Prog.live_out;
+  let table = Hashtbl.create 17 in
+  let live_bits label =
+    if Prog.is_exit prog label then boundary_bits
+    else
+      match Hashtbl.find_opt table label with
+      | Some b -> b
+      | None -> Bitset.create n
+  in
   let changed = ref true in
   while !changed do
     changed := false;
     List.iter
-      (fun (r : Region.t) ->
-        let nu = transfer t r in
-        let old =
-          Option.value ~default:Reg.Set.empty
-            (Hashtbl.find_opt t.table r.Region.label)
+      (fun (label, fallthrough, steps) ->
+        let live =
+          Bitset.copy
+            (match fallthrough with
+            | Some l -> live_bits l
+            | None -> boundary_bits)
         in
-        if not (Reg.Set.equal nu old) then begin
-          Hashtbl.replace t.table r.Region.label nu;
+        for si = 0 to Array.length steps - 1 do
+          let s = steps.(si) in
+          (match s.target with
+          | Some l -> ignore (Bitset.union_into ~into:live (live_bits l))
+          | None -> ());
+          let kill = s.kill_ix and use = s.use_ix in
+          for k = 0 to Array.length kill - 1 do
+            Bitset.unset live kill.(k)
+          done;
+          for k = 0 to Array.length use - 1 do
+            Bitset.set live use.(k)
+          done
+        done;
+        if not (Bitset.equal live (live_bits label)) then begin
+          Hashtbl.replace table label live;
           changed := true
         end)
-      (List.rev (Prog.regions prog))
+      order
   done;
-  t
+  {
+    prog;
+    stride;
+    table;
+    boundary_bits;
+    boundary_set = Reg.Set.of_list prog.Prog.live_out;
+    set_cache = Hashtbl.create 17;
+  }
+
+let to_set t bits =
+  Bitset.fold
+    (fun i s -> Reg.Set.add (reg_of_ix t.stride i) s)
+    bits Reg.Set.empty
+
+let live_in t label =
+  if Prog.is_exit t.prog label then t.boundary_set
+  else
+    match Hashtbl.find_opt t.set_cache label with
+    | Some s -> s
+    | None ->
+      let s =
+        match Hashtbl.find_opt t.table label with
+        | Some bits -> to_set t bits
+        | None -> Reg.Set.empty
+      in
+      Hashtbl.replace t.set_cache label s;
+      s
 
 let live_at_target t (r : Region.t) (br : Op.t) =
   match Region.branch_target r br with
   | Some target -> live_in t target
-  | None -> boundary t.prog
+  | None -> t.boundary_set
 
 let live_out_region t (r : Region.t) =
   match r.Region.fallthrough with
   | Some l -> live_in t l
-  | None -> boundary t.prog
+  | None -> t.boundary_set
 
 let live_expr_after t env (r : Region.t) idx reg =
   let ops = Pred_env.ops env in

@@ -1,6 +1,6 @@
 open Cpr_ir
 
-(** Predicate query system.
+(** Predicate query system (hash-consed production engine).
 
     Elcor's "predicate-cognizant" analyses (Johnson & Schlansker, MICRO-29)
     answer queries such as "are these two predicates disjoint?".  We
@@ -14,9 +14,17 @@ open Cpr_ir
     positive answer sound (a syntactic contradiction in every conjunction
     pair is a genuine one) and negative answers conservative.  Expressions
     that exceed a size cap degrade to {!unknown}, for which every query
-    answers "cannot prove". *)
+    answers "cannot prove".
 
-type key =
+    This engine interns every expression into a per-domain arena with a
+    unique small-int id — maximal sharing, O(1) structural equality — and
+    memoizes the binary operations and queries on id pairs.  All cache
+    misses are computed by {!Pqs_reference} (the original engine, kept as
+    the equivalence oracle), so both engines agree by construction; the
+    oracle tests pin the caching layer on top.  See DESIGN.md
+    "Hash-consed predicate engine". *)
+
+type key = Pqs_intf.key =
   | Cond of int  (** condition computed by the [cmpp] with this op id *)
   | Entry of int  (** opaque: predicate register live into the region *)
 
@@ -37,6 +45,9 @@ val is_const_false : t -> bool
 val is_const_true : t -> bool
 val is_unknown : t -> bool
 
+val equal : t -> t -> bool
+(** O(1) interned structural equality. *)
+
 val disjoint : t -> t -> bool
 (** [disjoint a b] proves that [a] and [b] are never simultaneously true.
     False means "cannot prove". *)
@@ -54,3 +65,22 @@ val keys : t -> key list
     {!unknown}). *)
 
 val pp : Format.formatter -> t -> unit
+
+val invalidate : unit -> unit
+(** Drop the calling domain's arena and memo tables (fresh ids keep
+    counting, so stale entries can never alias new nodes).  Outstanding
+    values remain valid — they only lose sharing with expressions
+    interned later. *)
+
+val trim : unit -> unit
+(** {!invalidate}, but only once the arena exceeds a real program's
+    working set.  Cached nodes and memoized answers are correct across
+    programs (literals are keyed by op id and queries are purely
+    syntactic), so invalidation exists to bound memory, not for
+    correctness; program-boundary hooks ({!Cpr_pipeline.Passes}
+    preparation, {!Cpr_verify.Verify.check_program}) call [trim] to keep
+    caches warm across small programs in long fuzz/suite runs. *)
+
+val to_reference : t -> Pqs_reference.t
+(** The underlying node, for the equivalence oracle: feed the same
+    construction through both engines and compare answers/structure. *)

@@ -9,35 +9,47 @@ open Cpr_ir
     predicates live into the region get opaque entry literals; a [cmpp]
     whose two sources are both immediates folds to a constant. *)
 
-type t
+module type S = sig
+  type pqs
+  (** The query-engine expression type ({!Pqs.t} in production). *)
 
-val analyze : Region.t -> t
+  type t
 
-val ops : t -> Op.t array
+  val analyze : Region.t -> t
 
-val guard_expr : t -> int -> Pqs.t
-(** Expression of the guard of the op at this index, in the environment at
-    that point.  [tru] for unguarded ops. *)
+  val ops : t -> Op.t array
 
-val reg_expr_before : t -> int -> Reg.t -> Pqs.t
-(** Value of a predicate register just before the op at this index. *)
+  val guard_expr : t -> int -> pqs
+  (** Expression of the guard of the op at this index, in the environment
+      at that point.  [tru] for unguarded ops. *)
 
-val reg_expr_at_end : t -> Reg.t -> Pqs.t
+  val reg_expr_before : t -> int -> Reg.t -> pqs
+  (** Value of a predicate register just before the op at this index. *)
 
-val taken_expr : t -> int -> Pqs.t
-(** For a branch at this index: the condition under which it takes
-    (its guard expression). *)
+  val reg_expr_at_end : t -> Reg.t -> pqs
 
-val path_cond : t -> int -> int -> Pqs.t
-(** [path_cond t i j] with [i <= j]: the condition that sequential control
-    started at op [i] reaches op [j], i.e. the conjunction of the negated
-    taken-expressions of the branches in [i, j). *)
+  val taken_expr : t -> int -> pqs
+  (** For a branch at this index: the condition under which it takes
+      (its guard expression). *)
 
-val path_conds : t -> Pqs.t array
-(** All prefix path conditions at once: [(path_conds t).(i) = path_cond
-    t 0 i].  One linear product instead of a quadratic family — use it
-    whenever more than one prefix of the same region is needed. *)
+  val path_cond : t -> int -> int -> pqs
+  (** [path_cond t i j] with [i <= j]: the condition that sequential
+      control started at op [i] reaches op [j], i.e. the conjunction of
+      the negated taken-expressions of the branches in [i, j). *)
 
-val fallthrough_expr : t -> Pqs.t
-(** Condition that the region is exited by falling through: no branch
-    takes. *)
+  val path_conds : t -> pqs array
+  (** All prefix path conditions at once: [(path_conds t).(i) = path_cond
+      t 0 i].  One linear product instead of a quadratic family — use it
+      whenever more than one prefix of the same region is needed. *)
+
+  val fallthrough_expr : t -> pqs
+  (** Condition that the region is exited by falling through: no branch
+      takes. *)
+end
+
+module Make (P : Pqs_intf.S) : S with type pqs = P.t
+(** The analysis functorized over the query engine, so the equivalence
+    oracle can replay identical constructions through {!Pqs_reference}
+    and compare answers against the hash-consed {!Pqs}. *)
+
+include S with type pqs = Pqs.t

@@ -23,6 +23,11 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 
+val cls_rank : cls -> int
+(** [Gpr] 0, [Pred] 1, [Btr] 2 — the major key of {!compare}; analyses
+    use it to index registers densely as [cls_rank cls * stride + id],
+    which enumerates in exactly {!compare} order. *)
+
 val is_pred : t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -34,7 +34,7 @@ let suite_seconds results =
   ( sum (fun (r : Report.result) -> r.Report.verify_s),
     sum (fun (r : Report.result) -> r.Report.total_s) )
 
-let render ~date ~domains ~results ~micro ~par =
+let render ?(pqs = []) ~date ~domains ~results ~micro ~par () =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n  \"date\": \"%s\",\n" date;
@@ -42,6 +42,17 @@ let render ~date ~domains ~results ~micro ~par =
      let verify_total, suite_total = suite_seconds results in
      add "  \"verify_total_s\": %.4f,\n  \"suite_total_s\": %.4f,\n"
        verify_total suite_total);
+  (* Predicate-engine telemetry for the whole run, keyed by the full
+     dotted counter name so [read_scalar] can find each line without
+     clashing with any other key. *)
+  if pqs <> [] then begin
+    add "  \"pqs\": {";
+    List.iteri
+      (fun i (name, v) ->
+        add "%s\n    \"%s\": %d" (if i = 0 then "" else ",") (json_escape name) v)
+      (List.sort compare pqs);
+    add "\n  },\n"
+  end;
   let (s1, sn), (f1, fn) = par in
   add "  \"parallel\": {\n";
   add "    \"domains_requested\": %d,\n" domains;
@@ -261,6 +272,13 @@ let check ~tolerance ~baseline ~current =
       [ delta ~tolerance ~workload:"(suite)" ~metric:"suite_total_s" ~base ~cur ]
   in
   per_workload @ suite
+
+let missing_from_current ~baseline ~current =
+  List.filter_map
+    (fun (name, _, _) ->
+      if List.exists (fun (n, _, _) -> n = name) current then None
+      else Some name)
+    (read_workloads baseline)
 
 let regressions deltas = List.filter (fun d -> d.regressed) deltas
 

@@ -27,16 +27,21 @@ val targets : is_dir:bool -> date:string -> string -> string * string
 (** {2 Writing} *)
 
 val render :
+  ?pqs:(string * int) list ->
   date:string ->
   domains:int ->
   results:Report.result list ->
   micro:(string * float option) list ->
   par:(float * float) * (float * float) ->
+  unit ->
   string
 (** The full bench JSON document: per-workload speedups, op ratios,
     [verify_s]/[total_s] and cycle counts, top-level
-    [verify_total_s]/[suite_total_s], parallel wall-clock numbers, and
-    micro-benchmark ns/run figures. *)
+    [verify_total_s]/[suite_total_s], parallel wall-clock numbers,
+    micro-benchmark ns/run figures, and (when [pqs] is non-empty) the
+    predicate-engine counters ([pqs.queries], [pqs.memo_hits], ...) for
+    the whole run, each on its own line under a ["pqs"] object so
+    {!read_scalar} can read them back by full dotted name. *)
 
 val suite_seconds : Report.result list -> float * float
 (** [(verify_total_s, suite_total_s)]: sums over the per-workload
@@ -79,6 +84,13 @@ val check :
     Workloads present on only one side are skipped, and the suite row
     sums over the {e matched} workloads only, so a [--quick] run gates
     cleanly against a full-suite baseline. *)
+
+val missing_from_current :
+  baseline:string -> current:(string * float * float) list -> string list
+(** Baseline workloads with no row in the current run.  {!check} skips
+    them (a [--quick] run must still gate against a full-suite
+    baseline), but silence would also hide a workload that stopped
+    running at all — [bench --check] warns with this list instead. *)
 
 val regressions : delta list -> delta list
 

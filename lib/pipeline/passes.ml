@@ -73,6 +73,10 @@ let profile prog inputs =
    compiler", not the raw region graph. *)
 let prepare prog inputs =
   Obs.span "pass/prepare" (fun () ->
+      (* Program boundary: trim the predicate engine's arena and memo
+         tables so a long suite/fuzz run's footprint stays bounded by
+         one program's working set, not the whole run. *)
+      Cpr_analysis.Pqs.trim ();
       let p = Prog.copy prog in
       profile p inputs;
       let formed = Cpr_core.Superblock.form p in

@@ -1,6 +1,7 @@
 open Cpr_ir
 module Pqs = Cpr_analysis.Pqs
 module Pred_env = Cpr_analysis.Pred_env
+module Bitset = Cpr_analysis.Bitset
 
 type verdict =
   | Undefined
@@ -36,23 +37,38 @@ let reachable_regions prog =
     (fun (r : Region.t) -> Hashtbl.mem seen r.Region.label)
     (Prog.regions prog)
 
-(* Registers defined by at least one op of the program: everything else
-   is a program input, conventionally defined at entry. *)
-let global_defs prog =
-  let s = ref Reg.Set.empty in
+(* The boolean half of the lint (may-defined entry sets, the edge-wise
+   refinement, gpr availability) runs over packed bitsets: registers
+   defined by at least one op of the program get dense indices —
+   everything else is a program input, conventionally defined at entry,
+   and never needs a bit. *)
+type ctx = {
+  idx : int Reg.Tbl.t;
+  n : int;
+}
+
+let make_ctx regions =
+  let idx = Reg.Tbl.create 64 in
   List.iter
     (fun (r : Region.t) ->
       List.iter
-        (fun op -> List.iter (fun d -> s := Reg.Set.add d !s) (Op.defs op))
+        (fun op ->
+          List.iter
+            (fun d ->
+              if not (Reg.Tbl.mem idx d) then
+                Reg.Tbl.replace idx d (Reg.Tbl.length idx))
+            (Op.defs op))
         r.Region.ops)
-    (Prog.regions prog);
-  !s
+    regions;
+  { idx; n = Reg.Tbl.length idx }
 
-let region_defs (r : Region.t) =
-  List.fold_left
-    (fun acc op ->
-      List.fold_left (fun acc d -> Reg.Set.add d acc) acc (Op.defs op))
-    Reg.Set.empty r.Region.ops
+let region_defs ctx (r : Region.t) =
+  let bits = Bitset.create ctx.n in
+  List.iter
+    (fun op ->
+      List.iter (fun d -> Bitset.set bits (Reg.Tbl.find ctx.idx d)) (Op.defs op))
+    r.Region.ops;
+  bits
 
 (* May-defined-on-entry per region label: forward fixpoint over the
    reachable region graph, [out r = in r + defs r].  "May" rather than
@@ -60,17 +76,22 @@ let region_defs (r : Region.t) =
    loop-back path counts as defined), which is the sound direction for a
    lint that must never flag correct code.  The edge-wise pass in [lint]
    recovers the cases this hides. *)
-let may_defined_on_entry prog regions =
+let may_defined_on_entry ctx prog regions =
   let by_label = Hashtbl.create 17 in
   let defs_of = Hashtbl.create 17 in
   List.iter
     (fun (r : Region.t) ->
       Hashtbl.replace by_label r.Region.label r;
-      Hashtbl.replace defs_of r.Region.label (region_defs r))
+      Hashtbl.replace defs_of r.Region.label (region_defs ctx r))
     regions;
   let in_of = Hashtbl.create 17 in
-  let get l =
-    Option.value ~default:Reg.Set.empty (Hashtbl.find_opt in_of l)
+  let cell l =
+    match Hashtbl.find_opt in_of l with
+    | Some b -> b
+    | None ->
+      let b = Bitset.create ctx.n in
+      Hashtbl.replace in_of l b;
+      b
   in
   (* Worklist instead of repeated whole-list sweeps: a region is
      reprocessed only when its entry set actually grew. *)
@@ -89,21 +110,16 @@ let may_defined_on_entry prog regions =
     match Hashtbl.find_opt by_label l with
     | None -> ()
     | Some r ->
-      let out = Reg.Set.union (get l) (Hashtbl.find defs_of l) in
+      let out = Bitset.copy (cell l) in
+      ignore (Bitset.union_into ~into:out (Hashtbl.find defs_of l));
       List.iter
         (fun succ ->
           if (not (Prog.is_exit prog succ)) && Hashtbl.mem by_label succ
-          then begin
-            let cur = get succ in
-            let next = Reg.Set.union cur out in
-            if not (Reg.Set.equal cur next) then begin
-              Hashtbl.replace in_of succ next;
-              enqueue succ
-            end
-          end)
+          then
+            if Bitset.union_into ~into:(cell succ) out then enqueue succ)
         (Region.successors r)
   done;
-  get
+  cell
 
 (* ------------------------------------------------------------------ *)
 (* Predicate/btr use-before-def under guard implication.               *)
@@ -115,27 +131,32 @@ let may_defined_on_entry prog regions =
    satisfiable [use]) is undefined on every execution reaching it.
    Registers may-defined on region entry or never defined anywhere
    (program inputs) start out defined. *)
-let region_queries ?env ?only ~entry_defined ~defs (r : Region.t) =
+let region_queries ctx ?env ?only ~entry_defined (r : Region.t) =
   let env =
     match env with Some e -> e | None -> Pred_env.analyze r
   in
-  (* [only] restricts the analysis to a subset of registers: the
-     edge-wise pass in [lint] re-queries a region once per incoming
+  (* [only] restricts the analysis to a subset of the defined registers:
+     the edge-wise pass in [lint] re-queries a region once per incoming
      edge, but each edge can only change verdicts for the handful of
      registers it stops covering, so tracking anything else there is
      wasted work. *)
   let tracked reg =
-    match only with None -> true | Some s -> Reg.Set.mem reg s
+    match only with
+    | None -> true
+    | Some bits -> (
+      match Reg.Tbl.find_opt ctx.idx reg with
+      | Some i -> Bitset.mem bits i
+      | None -> false)
   in
   let ops = Pred_env.ops env in
   let defined : Pqs.t Reg.Tbl.t = Reg.Tbl.create 17 in
   let get_defined reg =
     match Reg.Tbl.find_opt defined reg with
     | Some e -> e
-    | None ->
-      if Reg.Set.mem reg entry_defined || not (Reg.Set.mem reg defs) then
-        Pqs.tru
-      else Pqs.fls
+    | None -> (
+      match Reg.Tbl.find_opt ctx.idx reg with
+      | None -> Pqs.tru (* never defined anywhere: program input *)
+      | Some i -> if Bitset.mem entry_defined i then Pqs.tru else Pqs.fls)
   in
   let add_defined reg cond =
     Reg.Tbl.replace defined reg (Pqs.or_ (get_defined reg) cond)
@@ -196,11 +217,11 @@ let region_queries ?env ?only ~entry_defined ~defs (r : Region.t) =
 
 let queries prog =
   let regions = reachable_regions prog in
-  let defs = global_defs prog in
-  let entry_of = may_defined_on_entry prog regions in
+  let ctx = make_ctx regions in
+  let entry_of = may_defined_on_entry ctx prog regions in
   List.concat_map
     (fun (r : Region.t) ->
-      region_queries ~entry_defined:(entry_of r.Region.label) ~defs r)
+      region_queries ctx ~entry_defined:(entry_of r.Region.label) r)
     regions
 
 (* ------------------------------------------------------------------ *)
@@ -266,8 +287,8 @@ let lint ?only_checks ~stats prog =
     match only_checks with None -> true | Some cs -> List.mem c cs
   in
   let regions = reachable_regions prog in
-  let defs = global_defs prog in
-  let entry_of = may_defined_on_entry prog regions in
+  let ctx = make_ctx regions in
+  let entry_of = may_defined_on_entry ctx prog regions in
   (* [Pred_env.analyze] depends only on region content, so one env per
      region serves the merged query pass, every edge-wise re-query and
      the unreachable-guard scan. *)
@@ -305,8 +326,8 @@ let lint ?only_checks ~stats prog =
     List.iter
     (fun (r : Region.t) ->
       let qs =
-        region_queries ~env:(env_of r)
-          ~entry_defined:(entry_of r.Region.label) ~defs r
+        region_queries ctx ~env:(env_of r)
+          ~entry_defined:(entry_of r.Region.label) r
       in
       Hashtbl.replace merged_queries r.Region.label qs;
       List.iter
@@ -341,46 +362,46 @@ let lint ?only_checks ~stats prog =
       (* An edge can only change verdicts for registers it stops
          covering, so edges whose difference from the merged entry set
          misses every queried register are skipped outright. *)
-      let queried =
-        List.fold_left
-          (fun acc q -> Reg.Set.add q.reg acc)
-          Reg.Set.empty
-          (Option.value ~default:[]
-             (Hashtbl.find_opt merged_queries r.Region.label))
-      in
+      let queried = Bitset.create ctx.n in
+      List.iter
+        (fun q ->
+          match Reg.Tbl.find_opt ctx.idx q.reg with
+          | Some i -> Bitset.set queried i
+          | None -> ())
+        (Option.value ~default:[]
+           (Hashtbl.find_opt merged_queries r.Region.label));
       let edges =
         let from_preds =
           List.filter_map
             (fun p ->
               match Prog.find prog p with
               | Some pr ->
-                Some (p, Reg.Set.union (entry_of p) (region_defs pr))
+                let out = Bitset.copy (entry_of p) in
+                ignore (Bitset.union_into ~into:out (region_defs ctx pr));
+                Some (p, out)
               | None -> None)
             (List.sort_uniq compare
                (Option.value ~default:[]
                   (Hashtbl.find_opt preds_of r.Region.label)))
         in
         if r.Region.label = prog.Prog.entry then
-          ("program entry", Reg.Set.empty) :: from_preds
+          ("program entry", Bitset.create ctx.n) :: from_preds
         else from_preds
       in
       List.iter
         (fun (p, entry_defined) ->
-          if
-            not
-              (Reg.Set.is_empty
-                 (Reg.Set.inter (Reg.Set.diff merged entry_defined) queried))
-          then
+          let relevant =
+            Bitset.inter (Bitset.diff merged entry_defined) queried
+          in
+          if not (Bitset.is_empty relevant) then
             List.iter
               (fun q ->
                 if
                   q.verdict = Undefined
                   && not (Hashtbl.mem flagged (q.op_id, q.reg))
                 then undef_finding ~edge:p q)
-              (region_queries ~env:(env_of r)
-                 ~only:(Reg.Set.inter (Reg.Set.diff merged entry_defined)
-                          queried)
-                 ~entry_defined ~defs r))
+              (region_queries ctx ~env:(env_of r) ~only:relevant
+                 ~entry_defined r))
         edges)
       regions
   end;
@@ -388,27 +409,27 @@ let lint ?only_checks ~stats prog =
   if enabled "gpr-undef" then
     List.iter
     (fun (r : Region.t) ->
-      let available = ref (entry_of r.Region.label) in
+      let available = Bitset.copy (entry_of r.Region.label) in
       List.iter
         (fun (op : Op.t) ->
           List.iter
             (fun u ->
-              if
-                u.Reg.cls = Reg.Gpr
-                && Reg.Set.mem u defs
-                && not (Reg.Set.mem u !available)
-              then
-                add
-                  (Finding.make ~check:"gpr-undef" ~severity:Finding.Warning
-                     ~region:r.Region.label ~op:op.Op.id
-                     ~subject:(Reg.to_string u)
-                     (Printf.sprintf
-                        "%s is read before any definition reaches this use"
-                        (Reg.to_string u)));
-              available := Reg.Set.add u !available)
+              match Reg.Tbl.find_opt ctx.idx u with
+              | Some i ->
+                if u.Reg.cls = Reg.Gpr && not (Bitset.mem available i) then
+                  add
+                    (Finding.make ~check:"gpr-undef" ~severity:Finding.Warning
+                       ~region:r.Region.label ~op:op.Op.id
+                       ~subject:(Reg.to_string u)
+                       (Printf.sprintf
+                          "%s is read before any definition reaches this use"
+                          (Reg.to_string u)));
+                (* a use makes the value "seen": flag only the first one *)
+                Bitset.set available i
+              | None -> () (* never defined: program input *))
             (Op.uses op);
           List.iter
-            (fun d -> available := Reg.Set.add d !available)
+            (fun d -> Bitset.set available (Reg.Tbl.find ctx.idx d))
             (Op.defs op))
         r.Region.ops)
       regions;

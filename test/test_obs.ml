@@ -311,6 +311,50 @@ let test_check_ignores_unmatched () =
           deltas));
   Alcotest.(check int) "still clean" 0 (List.length (B.regressions deltas))
 
+let test_check_warns_missing_baseline () =
+  (* The gate skips baseline workloads with no current row (a --quick
+     run against a full-suite baseline must still pass), but the bench
+     driver warns with this list so a workload that silently stopped
+     running is visible. *)
+  let baseline = bench_json [ ("w1", 0.1, 1.0); ("gone", 0.2, 2.0) ] in
+  Alcotest.(check (list string))
+    "baseline-only workload reported" [ "gone" ]
+    (B.missing_from_current ~baseline ~current:[ ("w1", 0.1, 1.0) ]);
+  Alcotest.(check (list string))
+    "full match reports nothing" []
+    (B.missing_from_current ~baseline
+       ~current:[ ("w1", 0.1, 1.0); ("gone", 0.2, 2.0) ]);
+  let deltas =
+    B.check ~tolerance:25.0 ~baseline ~current:[ ("w1", 0.1, 1.0) ]
+  in
+  Alcotest.(check int)
+    "missing workload never regresses the gate" 0
+    (List.length (B.regressions deltas))
+
+let test_render_pqs_counters () =
+  let contents =
+    B.render
+      ~pqs:
+        [ ("pqs.memo_misses", 10); ("pqs.memo_hits", 90); ("pqs.queries", 55) ]
+      ~date:"2026-08-09" ~domains:1 ~results:[] ~micro:[]
+      ~par:((0., 0.), (0., 0.))
+      ()
+  in
+  Alcotest.(check (option (float 1e-9)))
+    "memo_hits read back" (Some 90.)
+    (B.read_scalar contents "pqs.memo_hits");
+  Alcotest.(check (option (float 1e-9)))
+    "queries read back" (Some 55.)
+    (B.read_scalar contents "pqs.queries");
+  let without =
+    B.render ~date:"2026-08-09" ~domains:1 ~results:[] ~micro:[]
+      ~par:((0., 0.), (0., 0.))
+      ()
+  in
+  Alcotest.(check (option (float 1e-9)))
+    "absent when not provided" None
+    (B.read_scalar without "pqs.memo_hits")
+
 let suite =
   ( "obs",
     [
@@ -347,4 +391,8 @@ let suite =
       Alcotest.test_case "perf gate noise floor" `Quick test_check_noise_floor;
       Alcotest.test_case "perf gate ignores unmatched" `Quick
         test_check_ignores_unmatched;
+      Alcotest.test_case "perf gate lists missing baseline workloads" `Quick
+        test_check_warns_missing_baseline;
+      Alcotest.test_case "bench json pqs counters" `Quick
+        test_render_pqs_counters;
     ] )

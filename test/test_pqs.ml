@@ -135,6 +135,165 @@ let prop_eval_homomorphic =
           | _ -> true)
         (all_assignments keys))
 
+(* --- hash-consing layer: sharing, uid shortcuts, invalidation --- *)
+
+let hash_consing () =
+  Pqs.invalidate ();
+  checkb "same construction interns to one node" true
+    (Pqs.equal (l1 &&& l2) (l1 &&& l2));
+  checkb "self-implication (uid shortcut)" true
+    (Pqs.implies (l1 ||| l2) (l1 ||| l2));
+  checkb "satisfiable node not self-disjoint" false
+    (Pqs.disjoint (l1 &&& l2) (l1 &&& l2));
+  let before = l1 &&& l2 in
+  Pqs.invalidate ();
+  (* handles are self-contained: an outstanding value stays correct
+     across invalidation, it only loses sharing with newer nodes *)
+  checkb "outstanding handle answers after invalidate" true
+    (Pqs.implies before l1);
+  let after = l1 &&& l2 in
+  checkb "re-built node structurally equal across generations" true
+    (Pqs.to_reference before = Pqs.to_reference after);
+  checkb "cross-generation queries still exact" true
+    (Pqs.implies before after && Pqs.implies after before)
+
+(* --- the equivalence oracle: hash-consed engine vs Pqs_reference --- *)
+
+module R = Cpr_analysis.Pqs_reference
+module RefEnv = Cpr_analysis.Pred_env.Make (Cpr_analysis.Pqs_reference)
+module W = Cpr_workloads
+
+(* A neutral expression AST replayed through both engines, so the
+   property pins the caching layer itself: identical construction calls
+   must yield structurally identical nodes and identical answers. *)
+type ast =
+  | T
+  | F
+  | U
+  | L of int
+  | And of ast * ast
+  | Or of ast * ast
+  | Not of ast
+
+let gen_ast =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n = 0 then
+             oneof
+               [
+                 return T;
+                 return F;
+                 return U;
+                 map (fun i -> L (i mod 4)) small_nat;
+               ]
+           else
+             oneof
+               [
+                 map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2));
+                 map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2));
+                 map (fun a -> Not a) (self (n - 1));
+               ]))
+
+let rec build_hc = function
+  | T -> Pqs.tru
+  | F -> Pqs.fls
+  | U -> Pqs.unknown
+  | L i -> Pqs.cond_lit i
+  | And (a, b) -> Pqs.and_ (build_hc a) (build_hc b)
+  | Or (a, b) -> Pqs.or_ (build_hc a) (build_hc b)
+  | Not a -> Pqs.not_ (build_hc a)
+
+let rec build_ref = function
+  | T -> R.tru
+  | F -> R.fls
+  | U -> R.unknown
+  | L i -> R.cond_lit i
+  | And (a, b) -> R.and_ (build_ref a) (build_ref b)
+  | Or (a, b) -> R.or_ (build_ref a) (build_ref b)
+  | Not a -> R.not_ (build_ref a)
+
+let prop_engines_agree =
+  QCheck2.Test.make ~name:"hash-consed engine agrees with reference"
+    ~count:500
+    QCheck2.Gen.(pair gen_ast gen_ast)
+    (fun (x, y) ->
+      let a = build_hc x and b = build_hc y in
+      let ra = build_ref x and rb = build_ref y in
+      Pqs.to_reference a = ra
+      && Pqs.to_reference b = rb
+      && Pqs.disjoint a b = R.disjoint ra rb
+      && Pqs.implies a b = R.implies ra rb
+      && Format.asprintf "%a" Pqs.pp a = Format.asprintf "%a" R.pp ra
+      && List.for_all
+           (fun assign -> Pqs.eval assign a = R.eval assign ra)
+           (all_assignments (Pqs.keys a)))
+
+(* Real programs: run [Pred_env] under both engines over every workload
+   and a batch of fuzz programs (raw and ICBM-transformed), and require
+   identical guard/path-condition structure and identical query answers
+   — the [schedule_reference]-style oracle for the predicate engine. *)
+let oracle_region name (r : Cpr_ir.Region.t) =
+  let ep = Cpr_analysis.Pred_env.analyze r in
+  let er = RefEnv.analyze r in
+  let n = Array.length (Cpr_analysis.Pred_env.ops ep) in
+  let gp = Array.init n (Cpr_analysis.Pred_env.guard_expr ep) in
+  let gr = Array.init n (RefEnv.guard_expr er) in
+  for i = 0 to n - 1 do
+    if Pqs.to_reference gp.(i) <> gr.(i) then
+      Alcotest.failf "%s/%s op %d: guard construction diverged" name
+        r.Cpr_ir.Region.label i
+  done;
+  let pp = Cpr_analysis.Pred_env.path_conds ep in
+  let pr = RefEnv.path_conds er in
+  Array.iteri
+    (fun i p ->
+      if Pqs.to_reference p <> pr.(i) then
+        Alcotest.failf "%s/%s op %d: path condition diverged" name
+          r.Cpr_ir.Region.label i)
+    pp;
+  (* pairwise queries over a sliding window — the locality the scheduler
+     and depgraph builder actually exercise *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to min (n - 1) (i + 20) do
+      if Pqs.disjoint gp.(i) gp.(j) <> R.disjoint gr.(i) gr.(j) then
+        Alcotest.failf "%s/%s ops %d,%d: disjoint diverged" name
+          r.Cpr_ir.Region.label i j;
+      if Pqs.implies gp.(i) gp.(j) <> R.implies gr.(i) gr.(j) then
+        Alcotest.failf "%s/%s ops %d,%d: implies diverged" name
+          r.Cpr_ir.Region.label i j
+    done
+  done
+
+let oracle_prog name prog =
+  List.iter (oracle_region name) (Cpr_ir.Prog.regions prog)
+
+let engines_agree_on_programs () =
+  List.iter
+    (fun (w : W.Workload.t) ->
+      oracle_prog w.W.Workload.name (w.W.Workload.build ()))
+    W.Registry.all;
+  (* transformed code is where predicates abound (FRP columns, guarded
+     compensation): oracle the ICBM pipeline output of the quick set *)
+  List.iter
+    (fun name ->
+      let w = Option.get (W.Registry.find name) in
+      let compiled =
+        Cpr_pipeline.Passes.height_reduce ~verify:false
+          (w.W.Workload.build ()) (w.W.Workload.inputs ())
+      in
+      oracle_prog (name ^ "-icbm") compiled.Cpr_pipeline.Passes.prog)
+    [ "strcpy"; "grep"; "099.go" ];
+  let stage = Option.get (Cpr_fuzz.Stage.find "icbm") in
+  for seed = 0 to 59 do
+    let name = Printf.sprintf "fuzz-%d" seed in
+    oracle_prog name (W.Gen.prog_of_seed seed);
+    if seed < 20 then
+      oracle_prog (name ^ "-icbm")
+        (stage.Cpr_fuzz.Stage.apply (W.Gen.prog_of_seed seed)
+           (W.Gen.inputs_of_seed seed))
+  done
+
 let suite =
   ( "pqs",
     [
@@ -143,7 +302,10 @@ let suite =
       case "disjointness" disjointness;
       case "implication" implication;
       case "entry literals" entry_literals;
+      case "hash-consing" hash_consing;
+      case "engines agree on programs" engines_agree_on_programs;
       QCheck_alcotest.to_alcotest prop_disjoint_sound;
       QCheck_alcotest.to_alcotest prop_implies_sound;
       QCheck_alcotest.to_alcotest prop_eval_homomorphic;
+      QCheck_alcotest.to_alcotest prop_engines_agree;
     ] )
