@@ -545,6 +545,11 @@ let pqs_counter_names =
     "pqs.interned";
     "pqs.memo_hits";
     "pqs.memo_misses";
+    (* Height-analysis telemetry rides in the same counters object:
+       bound queries answered, and CPR candidates the profitability
+       gate skipped (0 unless a run opts into Heur.height_gate). *)
+    "height.bound_queries";
+    "height.candidates_skipped";
   ]
 
 let write_json ~dated ~latest results micro par =
@@ -640,6 +645,22 @@ let run_check ~baseline_path baseline results =
           "--check: warning: baseline workload %s not in this run; not gated@."
           name)
       (P.Bench_io.missing_from_current ~baseline ~current);
+    (* Schedule quality: warn-only.  The gap moves whenever the
+       optimizer legitimately changes the code it hands the scheduler,
+       so it signals a trajectory to look at, never a gate failure. *)
+    let base_gaps = P.Bench_io.read_height baseline in
+    List.iter
+      (fun (r : P.Report.result) ->
+        match List.assoc_opt r.P.Report.name base_gaps with
+        | Some base_gap when r.P.Report.height_gap > base_gap +. 0.01 ->
+          Format.eprintf
+            "--check: warning: %s height_gap regressed %.1f%% -> %.1f%% \
+             (bound %d, achieved %d); not gated@."
+            r.P.Report.name (100. *. base_gap)
+            (100. *. r.P.Report.height_gap)
+            r.P.Report.bound_cycles r.P.Report.achieved_cycles
+        | _ -> ())
+      results;
     let deltas = P.Bench_io.check ~tolerance ~baseline ~current in
     if deltas = [] then begin
       Format.eprintf

@@ -70,6 +70,109 @@ let lint_workloads stages quiet =
     !proved !unknown;
   !failures = 0
 
+(* --heights: schedule-quality sweep.  Per stage output, the static
+   lower bound (dep height vs resource bound, maxed per region and
+   summed over the program), the length list scheduling actually
+   achieves, and the gap.  Soundness violations and above-factor quality
+   findings fail the run; missed-opportunity warnings are reported but
+   only counted. *)
+
+let heights_header () =
+  Format.printf "%-28s %8s %8s %8s %6s@." "workload/stage" "bound"
+    "achieved" "gap" "gap%"
+
+let heights_of_prog ~stage ~where ~factor quiet prog =
+  let rows = V.Heightcheck.rows prog in
+  let stats = V.Finding.new_stats () in
+  let missed =
+    match stage with "icbm" | "fullcpr" | "fullpipe" -> true | _ -> false
+  in
+  let findings = V.Heightcheck.check ~factor ~missed ~stats prog in
+  let bound = List.fold_left (fun a (r : V.Heightcheck.row) -> a + r.V.Heightcheck.bound) 0 rows in
+  let achieved =
+    List.fold_left (fun a (r : V.Heightcheck.row) -> a + r.V.Heightcheck.achieved) 0 rows
+  in
+  let gap = achieved - bound in
+  let fatal, missed_opps =
+    List.partition
+      (fun (f : V.Finding.t) -> f.V.Finding.check <> "height-missed-cpr")
+      findings
+  in
+  if not quiet then
+    Format.printf "%-28s %8d %8d %8d %5.1f%%@." where bound achieved gap
+      (if bound = 0 then 0.
+       else 100. *. float_of_int gap /. float_of_int bound);
+  List.iter (fun f -> Format.printf "%a@." pp_finding (where, f)) fatal;
+  if not quiet then
+    List.iter
+      (fun f -> Format.printf "%a@." pp_finding (where, f))
+      missed_opps;
+  (List.length fatal, List.length missed_opps)
+
+let lint_heights stages factor quiet =
+  let failures = ref 0 and missed = ref 0 in
+  if not quiet then heights_header ();
+  List.iter
+    (fun (w : Cpr_workloads.Workload.t) ->
+      let prog = w.Cpr_workloads.Workload.build () in
+      let inputs = w.Cpr_workloads.Workload.inputs () in
+      List.iter
+        (fun (stage : F.Stage.t) ->
+          let where =
+            Printf.sprintf "%s/%s" w.Cpr_workloads.Workload.name
+              stage.F.Stage.name
+          in
+          match stage.F.Stage.apply prog inputs with
+          | exception e ->
+            incr failures;
+            Format.printf "%s: transform raised: %s@." where
+              (Printexc.to_string e)
+          | after ->
+            let f, m =
+              heights_of_prog ~stage:stage.F.Stage.name ~where ~factor quiet
+                after
+            in
+            failures := !failures + f;
+            missed := !missed + m)
+        stages)
+    Cpr_workloads.Registry.all;
+  Format.printf
+    "heights: %d finding(s), %d missed-opportunity warning(s)@." !failures
+    !missed;
+  !failures = 0
+
+let heights_corpus dir factor quiet =
+  let failures = ref 0 and missed = ref 0 in
+  if not quiet then heights_header ();
+  List.iter
+    (fun (path, loaded) ->
+      match loaded with
+      | Error msg -> Format.printf "%s: ERROR %s@." path msg
+      | Ok (entry : F.Corpus.entry) -> (
+        match F.Stage.find entry.F.Corpus.stage with
+        | None ->
+          Format.printf "%s: unknown stage %s@." path entry.F.Corpus.stage
+        | Some stage -> (
+          match
+            stage.F.Stage.apply entry.F.Corpus.prog entry.F.Corpus.inputs
+          with
+          | exception e ->
+            incr failures;
+            Format.printf "%s: transform raised: %s@." path
+              (Printexc.to_string e)
+          | after ->
+            let f, m =
+              heights_of_prog ~stage:entry.F.Corpus.stage
+                ~where:(Filename.basename path) ~factor quiet after
+            in
+            failures := !failures + f;
+            missed := !missed + m)))
+    (F.Corpus.load_dir dir);
+  Format.printf
+    "corpus heights: %d finding(s), %d missed-opportunity warning(s)@."
+    !failures !missed;
+  !failures = 0
+
 let pp_fault_result ppf = function
   | F.Static_check.Caught msg -> Format.fprintf ppf "caught (%s)" msg
   | F.Static_check.Missed -> Format.fprintf ppf "MISSED"
@@ -128,7 +231,8 @@ let lint_bundle dir quiet =
   in
   report_entry quiet dir res
 
-let run files all_workloads corpus replay stages_spec quiet trace =
+let run files all_workloads corpus replay stages_spec quiet trace heights
+    height_factor =
   if trace <> None then Cpr_obs.Obs.set_enabled true;
   let stages =
     match F.Stage.parse stages_spec with
@@ -140,14 +244,27 @@ let run files all_workloads corpus replay stages_spec quiet trace =
       "nothing to lint: pass FILES, --all-workloads, --corpus DIR or \
        --replay-bundle DIR";
   let ok = ref true in
-  if files <> [] then ok := lint_files files quiet && !ok;
-  (match corpus with
-  | Some dir -> ok := lint_corpus dir quiet && !ok
-  | None -> ());
-  (match replay with
-  | Some dir -> ok := lint_bundle dir quiet && !ok
-  | None -> ());
-  if all_workloads then ok := lint_workloads stages quiet && !ok;
+  if heights then begin
+    (* Schedule-quality mode: bound/achieved/gap tables instead of the
+       correctness sweep. *)
+    if files <> [] || replay <> None then
+      failwith "--heights combines with --all-workloads and --corpus only";
+    (match corpus with
+    | Some dir -> ok := heights_corpus dir height_factor quiet && !ok
+    | None -> ());
+    if all_workloads then
+      ok := lint_heights stages height_factor quiet && !ok
+  end
+  else begin
+    if files <> [] then ok := lint_files files quiet && !ok;
+    (match corpus with
+    | Some dir -> ok := lint_corpus dir quiet && !ok
+    | None -> ());
+    (match replay with
+    | Some dir -> ok := lint_bundle dir quiet && !ok
+    | None -> ());
+    if all_workloads then ok := lint_workloads stages quiet && !ok
+  end;
   Option.iter
     (fun path ->
       Cpr_obs.Obs.Trace.export ~path;
@@ -195,16 +312,33 @@ let replay_bundle_arg =
                  quarantined input.cpr (written by the resilience layer \
                  under _crash/).")
 
+let heights_flag =
+  Arg.(value & flag
+       & info [ "heights" ]
+           ~doc:"Schedule-quality lint: per-stage static lower bound vs \
+                 achieved schedule length (bound, achieved, gap), failing \
+                 on soundness violations and above-factor quality \
+                 findings.  Combines with $(b,--all-workloads) and \
+                 $(b,--corpus).")
+
+let height_factor_arg =
+  Arg.(value & opt float 2.0
+       & info [ "height-factor" ] ~docv:"F"
+           ~doc:"Quality threshold for $(b,--heights): flag a region \
+                 when its achieved length exceeds F times the static \
+                 bound (plus a 2-cycle grace).")
+
 let () =
   let term =
     Term.(
-      const (fun files aw corpus replay stages quiet trace ->
-          try run files aw corpus replay stages quiet trace
+      const (fun files aw corpus replay stages quiet trace heights factor ->
+          try run files aw corpus replay stages quiet trace heights factor
           with Failure msg ->
             prerr_endline msg;
             1)
       $ files_arg $ all_workloads_flag $ corpus_arg $ replay_bundle_arg
-      $ stages_arg $ quiet_flag $ trace_arg)
+      $ stages_arg $ quiet_flag $ trace_arg $ heights_flag
+      $ height_factor_arg)
   in
   let info =
     Cmd.info "lint" ~version:"1.0"

@@ -266,6 +266,7 @@ let build machine (prog : Prog.t) liveness (region : Region.t) =
 
 let n_ops t = Array.length t.ops
 let op t i = t.ops.(i)
+let latency t i = t.lat.(i)
 let edges t = t.edges
 let preds t i = t.preds.(i)
 let succs t i = t.succs.(i)
@@ -290,15 +291,6 @@ let height t =
     h := max !h (a.(i) + t.lat.(i))
   done;
   !h
-
-let priority t =
-  let n = n_ops t in
-  let p = Array.make n 0 in
-  for i = n - 1 downto 0 do
-    p.(i) <- t.lat.(i);
-    List.iter (fun e -> p.(i) <- max p.(i) (e.latency + p.(e.dst))) t.succs.(i)
-  done;
-  p
 
 let kind_name = function
   | Flow r -> "flow:" ^ Reg.to_string r

@@ -52,6 +52,11 @@ val build : Cpr_machine.Descr.t -> Prog.t -> Liveness.t -> Region.t -> t
 
 val n_ops : t -> int
 val op : t -> int -> Op.t
+
+val latency : t -> int -> int
+(** Latency of the op at this index on the machine the graph was built
+    for (the node contribution; edge latencies are derived from it). *)
+
 val edges : t -> edge list
 val preds : t -> int -> edge list
 val succs : t -> int -> edge list
@@ -65,8 +70,7 @@ val height : t -> int
 val asap : t -> int array
 (** Earliest issue cycle of each op ignoring resources. *)
 
-val priority : t -> int array
-(** List-scheduling priority: longest latency-weighted path from each op
-    to any sink (critical-path height below the op). *)
-
 val pp : Format.formatter -> t -> unit
+(** The list-scheduling priority (longest path to a sink) lives in
+    {!Height.priority}, alongside the rest of the critical-path
+    toolkit. *)

@@ -1,0 +1,73 @@
+open Cpr_ir
+module Descr = Cpr_machine.Descr
+
+type class_bound = {
+  fu : Descr.fu;
+  count : int;
+  slots : int;
+  bound : int;
+}
+
+type t = {
+  total_ops : int;
+  classes : class_bound list;
+  bound : int;
+}
+
+let fu_rank = function Descr.I -> 0 | Descr.F -> 1 | Descr.M -> 2 | Descr.B -> 3
+
+(* [(ceil (count / slots)) - 1] is the earliest cycle the class's last op
+   can issue; completing it costs at least the smallest latency in the
+   class.  Latencies are >= 1 on every machine in {!Descr.all}, but the
+   formula stays sound even if a zero-latency opcode appeared. *)
+let class_lower ~count ~slots ~min_lat =
+  if count = 0 then 0 else (((count + slots - 1) / slots) - 1) + min_lat
+
+let of_ops machine ops =
+  let n = Array.length ops in
+  let counts = Array.make 4 0 in
+  let min_lats = Array.make 4 max_int in
+  Array.iter
+    (fun op ->
+      let r = fu_rank (Descr.fu_of_op op) in
+      counts.(r) <- counts.(r) + 1;
+      min_lats.(r) <- min min_lats.(r) (Descr.latency_of machine op))
+    ops;
+  let slots_of fu =
+    match machine.Descr.issue with
+    | Descr.Sequential -> 1
+    | Descr.Regular _ -> Descr.slots machine fu
+  in
+  let classes =
+    List.filter_map
+      (fun fu ->
+        let r = fu_rank fu in
+        if counts.(r) = 0 then None
+        else
+          let slots = slots_of fu in
+          Some
+            {
+              fu;
+              count = counts.(r);
+              slots;
+              bound =
+                class_lower ~count:counts.(r) ~slots ~min_lat:min_lats.(r);
+            })
+      [ Descr.I; Descr.F; Descr.M; Descr.B ]
+  in
+  let bound =
+    List.fold_left (fun acc (c : class_bound) -> max acc c.bound) 0 classes
+  in
+  let bound =
+    match machine.Descr.issue with
+    | Descr.Sequential when n > 0 ->
+      (* One op of any class per cycle: the total count bounds like a
+         single class of width 1. *)
+      let min_lat = Array.fold_left min max_int min_lats in
+      max bound (class_lower ~count:n ~slots:1 ~min_lat)
+    | Descr.Sequential | Descr.Regular _ -> bound
+  in
+  { total_ops = n; classes; bound }
+
+let of_region machine (r : Region.t) =
+  of_ops machine (Array.of_list r.Region.ops)

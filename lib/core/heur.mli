@@ -18,6 +18,17 @@ type t = {
       (** regions whose profiled entry count is below this fraction of the
           hottest region are left untransformed (the paper's control of
           static code growth) *)
+  height_gate : bool;
+      (** when set, skip candidate CPR blocks whose branches are all
+          provably off the region's critical path (static {!Height}
+          analysis): bypassing them cannot shorten the schedule, so the
+          compensation code is pure cost.  Off by default — the paper's
+          heuristics are profile-only and the baseline output is
+          reproduced bit-for-bit with the gate off. *)
+  height_slack_min : int;
+      (** minimum per-branch scheduling slack (cycles of freedom off the
+          critical path, {!Height.slack}) before the gate may skip a
+          block; higher values make the gate more conservative *)
 }
 
 val default : t

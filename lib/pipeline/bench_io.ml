@@ -81,6 +81,10 @@ let render ?(pqs = []) ~date ~domains ~results ~micro ~par () =
       add "      \"verify_s\": %.4f,\n" r.Report.verify_s;
       add "      \"total_s\": %.4f,\n" r.Report.total_s;
       add "      \"degraded\": %b,\n" (Report.degraded r);
+      add
+        "      \"height\": { \"bound_cycles\": %d, \"achieved_cycles\": \
+         %d, \"gap\": %.4f },\n"
+        r.Report.bound_cycles r.Report.achieved_cycles r.Report.height_gap;
       let cycles key l =
         add "      \"%s\": {" key;
         List.iteri
@@ -206,6 +210,63 @@ let read_workloads contents =
       end)
     (String.split_on_char '\n' contents);
   flush ();
+  List.rev !entries
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* The per-benchmark height line: ["height": { ..., "gap": F },] inside
+   the entry whose ["name":] line last preceded it. *)
+let read_height contents =
+  let entries = ref [] in
+  let current = ref None in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      let name_prefix = "{ \"name\": \"" in
+      let np = String.length name_prefix in
+      if String.length line > np && String.sub line 0 np = name_prefix then begin
+        match String.index_from_opt line np '"' with
+        | Some q -> current := Some (String.sub line np (q - np))
+        | None -> current := None
+      end
+      else
+        let hp = "\"height\":" in
+        if
+          String.length line >= String.length hp
+          && String.sub line 0 (String.length hp) = hp
+        then
+          let gp = "\"gap\":" in
+          match !current with
+          | None -> ()
+          | Some name -> (
+            match find_sub line gp with
+            | None -> ()
+            | Some i ->
+              let rest =
+                String.sub line
+                  (i + String.length gp)
+                  (String.length line - i - String.length gp)
+              in
+              let rest = String.trim rest in
+              let stop =
+                match String.index_opt rest ' ' with
+                | Some j -> j
+                | None -> String.length rest
+              in
+              (match
+                 float_of_string_opt
+                   (strip_comma (String.sub rest 0 stop))
+               with
+              | Some g -> entries := (name, g) :: !entries
+              | None -> ())))
+    (String.split_on_char '\n' contents);
   List.rev !entries
 
 (* ------------------------------------------------------------------ *)

@@ -60,6 +60,14 @@ val read_micro : string -> (string * float) list
 val read_workloads : string -> (string * float * float) list
 (** [(name, verify_s, total_s)] per entry of the [benchmarks] array. *)
 
+val read_height : string -> (string * float) list
+(** [(name, height_gap)] per entry of the [benchmarks] array (entries
+    predating the height triple are absent).  [bench --check] warns —
+    without failing — when a workload's gap grows past the baseline's:
+    schedule quality is a trajectory signal, not a hard gate, because
+    the gap also moves when the optimizer legitimately changes the
+    code. *)
+
 (** {2 Baseline comparison — the CI perf gate} *)
 
 type delta = {

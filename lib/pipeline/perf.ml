@@ -34,5 +34,15 @@ let estimate_exit_aware machine prog =
       acc + !exit_cycles + (fallthrough_entries * s.Cpr_sched.Schedule.length))
     0 schedules
 
+let bound_estimate machine prog =
+  let live = Cpr_analysis.Liveness.analyze prog in
+  List.fold_left
+    (fun acc (r : Region.t) ->
+      if r.Region.ops = [] then acc
+      else
+        let s = Cpr_analysis.Height.of_region machine prog live r in
+        acc + (s.Cpr_analysis.Height.bound * r.Region.entry_count))
+    0 (Prog.regions prog)
+
 let speedup ~baseline ~transformed =
   if transformed = 0 then 1.0 else float_of_int baseline /. float_of_int transformed

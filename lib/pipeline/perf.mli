@@ -15,4 +15,11 @@ val estimate_exit_aware : Cpr_machine.Descr.t -> Prog.t -> int
     only up to the exit branch's completion, instead of the full region
     schedule length. *)
 
+val bound_estimate : Cpr_machine.Descr.t -> Prog.t -> int
+(** {!estimate} with each region's schedule length replaced by its static
+    lower bound ({!Cpr_analysis.Height.of_region}): Σ region bound ×
+    profiled entry count, without scheduling.  Always at most
+    {!estimate}; the difference is the schedule-quality gap the bench
+    harness tracks as [height_gap]. *)
+
 val speedup : baseline:int -> transformed:int -> float

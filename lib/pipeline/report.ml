@@ -14,6 +14,9 @@ type result = {
   icbm : Cpr_core.Icbm.region_stats;
   equivalent : (unit, string) Result.t;
   failures : Recover.failure list;
+  bound_cycles : int;
+  achieved_cycles : int;
+  height_gap : float;
   verify_s : float;
   total_s : float;
 }
@@ -56,6 +59,20 @@ let run ?heur ?(recover = true) ?bundle_dir ~name prog inputs =
       (fun (mname, b) (_, t) -> (mname, Perf.speedup ~baseline:b ~transformed:t))
       baseline_cycles reduced_cycles
   in
+  (* Schedule quality on the medium machine: the static lower bound the
+     height analyzer proves vs the cycles the scheduler achieves, both
+     entry-weighted.  The gap is tracked by bench --check (warn-only)
+     so scheduler or analyzer regressions show up in the perf
+     trajectory, not just wall time. *)
+  let bound_cycles = Perf.bound_estimate Descr.medium reduced.Passes.prog in
+  let achieved_cycles =
+    Option.value ~default:0
+      (List.assoc_opt Descr.medium.Descr.name reduced_cycles)
+  in
+  let height_gap =
+    if bound_cycles = 0 then 0.
+    else float_of_int (achieved_cycles - bound_cycles) /. float_of_int bound_cycles
+  in
   let sb = Stats_ir.of_prog base.Passes.prog in
   let sr = Stats_ir.of_prog reduced.Passes.prog in
   let s_tot, s_br, d_tot, d_br = Stats_ir.ratio sr sb in
@@ -74,6 +91,9 @@ let run ?heur ?(recover = true) ?bundle_dir ~name prog inputs =
       | None -> Cpr_core.Icbm.zero_stats);
     equivalent;
     failures = List.filter_map Recover.failure [ base_p; reduced_p ];
+    bound_cycles;
+    achieved_cycles;
+    height_gap;
     verify_s = !verify_time;
     total_s = Unix.gettimeofday () -. t0;
   }

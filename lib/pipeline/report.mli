@@ -24,6 +24,16 @@ type result = {
           means the workload ran {e degraded}: the failing stage's
           output was replaced by the verified pre-pass fallback, so its
           numbers measure the fallback, not the optimization. *)
+  bound_cycles : int;
+      (** static lower bound on the height-reduced code's cycles on the
+          medium machine ({!Perf.bound_estimate}): what a perfect
+          scheduler could not beat *)
+  achieved_cycles : int;
+      (** the medium-machine entry of [reduced_cycles] — what list
+          scheduling achieved *)
+  height_gap : float;
+      (** [(achieved - bound) / bound]; 0 when the schedule is provably
+          optimal against the static model *)
   verify_s : float;
       (** wall time the static verifier spent on this benchmark (both
           compiled codes); tracked by [bench --json] against its

@@ -31,7 +31,7 @@ let schedule_reference machine prog liveness (region : Region.t) =
   let graph = Depgraph.build machine prog liveness region in
   let n = Depgraph.n_ops graph in
   let ops = Array.init n (Depgraph.op graph) in
-  let priority = Depgraph.priority graph in
+  let priority = Cpr_analysis.Height.priority graph in
   let cycle = Array.make n (-1) in
   let resources = Resource.create machine in
   let unscheduled = ref n in
@@ -103,7 +103,7 @@ let schedule machine prog liveness (region : Region.t) =
   let graph = Depgraph.build machine prog liveness region in
   let n = Depgraph.n_ops graph in
   let ops = Array.init n (Depgraph.op graph) in
-  let priority = Depgraph.priority graph in
+  let priority = Cpr_analysis.Height.priority graph in
   let cycle = Array.make n (-1) in
   let resources = Resource.create machine in
   let unscheduled = ref n in

@@ -116,7 +116,22 @@ let validate ?(machine = Cpr_machine.Descr.medium) ~stats ~stage ~before
   let after_regions = Dataflow.reachable_regions after in
   let index = build_index after_regions in
   let origs = orig_map after in
-  let resolve id = Option.value ~default:id (Hashtbl.find_opt origs id) in
+  (* Normalize an output op id onto the id the *input* program knows the
+     op by.  Ops that survived the transformation keep their id — their
+     [orig] (if any) points further back, to an ancestor of an earlier
+     stage, and chasing it would tear matching literals apart.  Only ops
+     the input has never seen resolve through [orig]. *)
+  let before_ids = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Region.t) ->
+      List.iter
+        (fun (op : Op.t) -> Hashtbl.replace before_ids op.Op.id ())
+        r.Region.ops)
+    (Prog.regions before);
+  let resolve id =
+    if Hashtbl.mem before_ids id then id
+    else Option.value ~default:id (Hashtbl.find_opt origs id)
+  in
   (* tv-exit *)
   let after_exits = reachable_exit_labels after in
   Hashtbl.iter
@@ -305,6 +320,53 @@ let validate ?(machine = Cpr_machine.Descr.medium) ~stats ~stage ~before
         Hashtbl.replace after_envs label e;
         e
     in
+    (* A store hoisted into a compensation region executes under a
+       condition expressed over the comp region's *own* entry literals
+       — opaque [Entry] keys the input condition never mentions.  Those
+       literals are not free: the comp region has exactly one entering
+       edge, and the predicate's value along it is the symbolic value
+       [Pred_env.reg_expr_before] assigns at the edge point in the
+       parent region, expressed over the parent's condition literals
+       (which [norm] maps back onto input op ids).  Record every
+       entering edge so the per-instance check below can substitute. *)
+    let entering_edges = Hashtbl.create 7 in
+    List.iter
+      (fun (q : Region.t) ->
+        let push l v =
+          Hashtbl.replace entering_edges l
+            (v
+            :: Option.value ~default:[]
+                 (Hashtbl.find_opt entering_edges l))
+        in
+        List.iteri
+          (fun k (op : Op.t) ->
+            if Op.is_branch op then
+              match Region.branch_target q op with
+              | Some t -> push t (q, Some k)
+              | None -> ())
+          q.Region.ops;
+        match q.Region.fallthrough with
+        | Some t -> push t (q, None)
+        | None -> ())
+      after_regions;
+    (* Entry-literal resolver for [label], valid only when its unique
+       predecessor is the transformed parent region itself (same label
+       as the input region being validated) — that alignment makes the
+       parent's own entry literals coincide with the input region's, so
+       the substituted expression and the input condition range over
+       one shared literal space. *)
+    let entry_value ~parent label =
+      match Hashtbl.find_opt entering_edges label with
+      | Some [ ((q : Region.t), at) ] when q.Region.label = parent ->
+        let env_q, _ = env_of q.Region.label q in
+        Some
+          (fun rid ->
+            let reg = { Reg.id = rid; cls = Reg.Pred } in
+            match at with
+            | Some k -> Pred_env.reg_expr_before env_q k reg
+            | None -> Pred_env.reg_expr_at_end env_q reg)
+      | _ -> None
+    in
     List.iter
       (fun (r : Region.t) ->
         let env_b = Pred_env.analyze r in
@@ -333,57 +395,131 @@ let validate ?(machine = Cpr_machine.Descr.medium) ~stats ~stage ~before
                       Pqs.and_ pc_a.(inst.idx)
                         (Pred_env.guard_expr env_a inst.idx)
                     in
-                    let keys_b = List.sort_uniq compare (Pqs.keys eb) in
-                    let keys_a =
-                      List.sort_uniq compare (List.map norm (Pqs.keys ea))
-                    in
-                    if
-                      Pqs.is_unknown eb || Pqs.is_unknown ea
-                      || keys_b <> keys_a
-                      || List.length keys_b > 12
-                    then stats.Finding.unknown <- stats.Finding.unknown + 1
-                    else begin
-                      let arr = Array.of_list keys_b in
-                      let n = Array.length arr in
-                      let lookup mask k =
-                        let rec find j =
-                          if j >= n then false
-                          else if arr.(j) = k then mask land (1 lsl j) <> 0
-                          else find (j + 1)
-                        in
-                        find 0
-                      in
-                      let witness = ref None in
-                      let undecided = ref false in
-                      let mask = ref 0 in
-                      while !witness = None && (not !undecided)
-                            && !mask < 1 lsl n do
-                        let sigma = lookup !mask in
-                        (match
-                           ( Pqs.eval sigma eb,
-                             Pqs.eval (fun k -> sigma (norm k)) ea )
-                         with
-                        | Some a, Some b when a <> b -> witness := Some !mask
-                        | Some _, Some _ -> ()
-                        | None, _ | _, None -> undecided := true);
-                        incr mask
-                      done;
-                      if !undecided then
-                        stats.Finding.unknown <- stats.Finding.unknown + 1
+                    (* Entry literals of [ea] are shared free variables
+                       when the instance stayed in its own region; in a
+                       different output region they denote *that*
+                       region's entry state and must be substituted
+                       through its entering edge (or the comparison
+                       degrades to unknown — a free reading would
+                       manufacture witnesses no execution exhibits). *)
+                    let entry_defs =
+                      if inst.label = r.Region.label then Some []
                       else
-                        match !witness with
-                        | None ->
-                          stats.Finding.proved <- stats.Finding.proved + 1
-                        | Some m ->
-                          add ~check:"tv-store-guard"
-                            ~region:inst.label ~op:op.Op.id
-                            (Format.asprintf
-                               "store %d executes under a different \
-                                condition after the transformation \
-                                (witness assignment %d: before %a, after \
-                                %a)"
-                               op.Op.id m Pqs.pp eb Pqs.pp ea)
-                    end)
+                        let ids =
+                          List.filter_map
+                            (function
+                              | Pqs.Entry id -> Some id
+                              | Pqs.Cond _ -> None)
+                            (Pqs.keys ea)
+                        in
+                        if ids = [] then Some []
+                        else
+                          match
+                            entry_value ~parent:r.Region.label inst.label
+                          with
+                          | None -> None
+                          | Some value ->
+                            let defs =
+                              List.map (fun id -> (id, value id)) ids
+                            in
+                            if
+                              List.exists
+                                (fun (_, e) -> Pqs.is_unknown e)
+                                defs
+                            then None
+                            else Some defs
+                    in
+                    match entry_defs with
+                    | None ->
+                      stats.Finding.unknown <- stats.Finding.unknown + 1
+                    | Some entry_defs ->
+                      let keys_b =
+                        List.sort_uniq compare (Pqs.keys eb)
+                      in
+                      let keys_a =
+                        List.concat_map
+                          (fun k ->
+                            match k with
+                            | Pqs.Cond _ -> [ norm k ]
+                            | Pqs.Entry id -> (
+                              match List.assoc_opt id entry_defs with
+                              | Some e -> List.map norm (Pqs.keys e)
+                              | None -> [ k ]))
+                          (Pqs.keys ea)
+                      in
+                      (* The two conditions need not mention the same
+                         literals — compensation-region path conditions
+                         routinely carry extra predicates that cancel —
+                         so enumerate assignments over the *union* of
+                         their key sets; each expression is total over
+                         a superset of its own keys. *)
+                      let keys =
+                        List.sort_uniq compare (keys_b @ keys_a)
+                      in
+                      if
+                        Pqs.is_unknown eb || Pqs.is_unknown ea
+                        || List.length keys > 12
+                      then stats.Finding.unknown <- stats.Finding.unknown + 1
+                      else begin
+                        let arr = Array.of_list keys in
+                        let n = Array.length arr in
+                        let lookup mask k =
+                          let rec find j =
+                            if j >= n then false
+                            else if arr.(j) = k then
+                              mask land (1 lsl j) <> 0
+                            else find (j + 1)
+                          in
+                          find 0
+                        in
+                        let witness = ref None in
+                        let undecided = ref false in
+                        let mask = ref 0 in
+                        while !witness = None && (not !undecided)
+                              && !mask < 1 lsl n do
+                          let sigma = lookup !mask in
+                          let sigma_a k =
+                            match k with
+                            | Pqs.Cond _ -> sigma (norm k)
+                            | Pqs.Entry id -> (
+                              match List.assoc_opt id entry_defs with
+                              | None -> sigma k
+                              | Some e -> (
+                                match
+                                  Pqs.eval (fun k' -> sigma (norm k')) e
+                                with
+                                | Some v -> v
+                                | None ->
+                                  undecided := true;
+                                  false))
+                          in
+                          (match
+                             (Pqs.eval sigma eb, Pqs.eval sigma_a ea)
+                           with
+                          | Some a, Some b when a <> b ->
+                            witness := Some !mask
+                          | Some _, Some _ -> ()
+                          | None, _ | _, None -> undecided := true);
+                          incr mask
+                        done;
+                        if !undecided then
+                          stats.Finding.unknown <-
+                            stats.Finding.unknown + 1
+                        else
+                          match !witness with
+                          | None ->
+                            stats.Finding.proved <-
+                              stats.Finding.proved + 1
+                          | Some m ->
+                            add ~check:"tv-store-guard"
+                              ~region:inst.label ~op:op.Op.id
+                              (Format.asprintf
+                                 "store %d executes under a different \
+                                  condition after the transformation \
+                                  (witness assignment %d: before %a, \
+                                  after %a)"
+                                 op.Op.id m Pqs.pp eb Pqs.pp ea)
+                      end)
                 same_id
             end)
           r.Region.ops)

@@ -174,7 +174,7 @@ let latencies_in_asap () =
 let priority_is_path_to_sink () =
   let prog, _ = profiled_strcpy () in
   let g = build_graph prog "Loop" in
-  let p = D.priority g in
+  let p = Cpr_analysis.Height.priority g in
   let a = D.asap g in
   Array.iteri
     (fun i _ ->
