@@ -550,6 +550,11 @@ let pqs_counter_names =
        gate skipped (0 unless a run opts into Heur.height_gate). *)
     "height.bound_queries";
     "height.candidates_skipped";
+    (* Register-pressure telemetry, same arrangement: disjointness
+       queries the analyzer issued, and CPR candidates the pressure
+       gate skipped (0 unless a run opts into Heur.pressure_gate). *)
+    "pressure.queries";
+    "pressure.candidates_skipped";
   ]
 
 let write_json ~dated ~latest results micro par =
@@ -651,15 +656,43 @@ let run_check ~baseline_path baseline results =
     let base_gaps = P.Bench_io.read_height baseline in
     List.iter
       (fun (r : P.Report.result) ->
+        let cur =
+          {
+            P.Bench_io.gap = r.P.Report.height_gap;
+            h_bound = r.P.Report.bound_cycles;
+            h_achieved = r.P.Report.achieved_cycles;
+          }
+        in
         match List.assoc_opt r.P.Report.name base_gaps with
-        | Some base_gap when r.P.Report.height_gap > base_gap +. 0.01 ->
+        | Some base when P.Bench_io.height_regressed ~base ~cur ->
           Format.eprintf
             "--check: warning: %s height_gap regressed %.1f%% -> %.1f%% \
              (bound %d, achieved %d); not gated@."
-            r.P.Report.name (100. *. base_gap)
+            r.P.Report.name
+            (100. *. base.P.Bench_io.gap)
             (100. *. r.P.Report.height_gap)
             r.P.Report.bound_cycles r.P.Report.achieved_cycles
         | _ -> ())
+      results;
+    (* Register pressure: also warn-only, per class.  MAXLIVE moves with
+       every legitimate code change; the gate only flags growth past the
+       noise floor so pressure creep is visible in the trajectory. *)
+    let base_pressure = P.Bench_io.read_pressure baseline in
+    List.iter
+      (fun (r : P.Report.result) ->
+        match List.assoc_opt r.P.Report.name base_pressure with
+        | None -> ()
+        | Some base_classes ->
+          List.iter
+            (fun (cls, cur) ->
+              match List.assoc_opt cls base_classes with
+              | Some base when P.Bench_io.pressure_regressed ~base ~cur ->
+                Format.eprintf
+                  "--check: warning: %s %s maxlive regressed %d -> %d; \
+                   not gated@."
+                  r.P.Report.name cls base cur
+              | _ -> ())
+            r.P.Report.pressure)
       results;
     let deltas = P.Bench_io.check ~tolerance ~baseline ~current in
     if deltas = [] then begin

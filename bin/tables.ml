@@ -6,8 +6,25 @@
 module W = Cpr_workloads
 module P = Cpr_pipeline
 
+module Descr = Cpr_machine.Descr
+
+(* The machine family: issue widths from the paper, register-file sizes
+   from our HPL-PD-flavoured extension (the budgets `lint --pressure`
+   checks MAXLIVE against). *)
+let print_machines () =
+  Format.printf "Machine register files (gpr/pred/btr per class)@.@.";
+  Format.printf "%-14s%8s%8s%8s@." "Machine" "gpr" "pred" "btr";
+  List.iter
+    (fun (m : Descr.t) ->
+      Format.printf "%-14s%8d%8d%8d@." m.Descr.name
+        (Descr.regfile_size m Cpr_ir.Reg.Gpr)
+        (Descr.regfile_size m Cpr_ir.Reg.Pred)
+        (Descr.regfile_size m Cpr_ir.Reg.Btr))
+    Descr.all
+
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  print_machines ();
   let suite =
     if quick then
       List.filter_map W.Registry.find [ "strcpy"; "grep"; "099.go" ]

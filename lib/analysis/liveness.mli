@@ -9,6 +9,12 @@ open Cpr_ir
 
 type t
 
+val kills : Op.t -> Reg.t list
+(** Destinations an op writes unconditionally (its guard is [True] and
+    the destination is not an accumulator), plus the [cmpp] destinations
+    written even under a false guard.  Exposed so {!Pressure} counts
+    value lifetimes with exactly the transfer the fixpoint uses. *)
+
 val analyze : Prog.t -> t
 
 val live_in : t -> string -> Reg.Set.t

@@ -1,0 +1,70 @@
+open Cpr_ir
+
+(** Predicate-aware register-pressure (MAXLIVE) analysis.
+
+    Control CPR spends predicate registers and longer live ranges to buy
+    branch height; this module measures that cost statically, per
+    register class ({!Reg.cls}), two ways:
+
+    - {!sweep} counts live registers at every program point of an
+      {e unscheduled} region, walking the {!Liveness} transfer backward —
+      a cheap pre-schedule estimate used by the CPR gates.
+    - {!of_schedule} counts live values at every {e cycle} of a
+      {!Cpr_sched}-style schedule (passed as parallel ops/cycle arrays so
+      this library does not depend on the scheduler): each demand for a
+      value pins its register from the last unconditional write before it
+      to the demand's cycle.  This is what a post-scheduling allocator
+      sees, so allocatability checks use it.
+
+    Both refine the count through {!Pqs.disjoint}: two registers whose
+    occupancy conditions (definition-site guard expressions from
+    {!Pred_env}; [tru] for entry values that some demand can actually
+    consume — a guarded def covering all its uses makes the entry value
+    dead even though the predicate-blind {!Liveness} keeps it live-in)
+    are provably mutually exclusive can share one physical register —
+    the predicate-cognizant counting of Johnson & Schlansker.  The refined
+    figure is sandwiched between the true dynamic maximum and the
+    predicate-blind count; [test/test_pressure.ml] holds the oracle.
+
+    Note the sweep and the schedule counts are not ordered in general:
+    scheduling can overlap lifetimes that program order kept apart, so
+    neither bounds the other.  Consumers wanting a single conservative
+    figure take the max of both. *)
+
+type class_stat = {
+  cls : Reg.cls;
+  maxlive : int;  (** predicate-aware maximum over points/cycles *)
+  maxlive_blind : int;  (** without the disjointness refinement *)
+  peak_at : int;  (** point (sweep) or cycle ({!of_schedule}) of the peak *)
+}
+
+type t = {
+  n_points : int;
+  per_point : int array array;
+      (** predicate-aware count, indexed [Reg.cls_rank cls].(point) *)
+  per_point_blind : int array array;
+  stats : class_stat array;  (** indexed by {!Reg.cls_rank} *)
+}
+
+val stat : t -> Reg.cls -> class_stat
+val maxlive : t -> Reg.cls -> int
+val maxlive_blind : t -> Reg.cls -> int
+
+val sweep : ?refine:bool -> Liveness.t -> Prog.t -> Region.t -> t
+(** Program-point sweep over the unscheduled region: point [i] is just
+    before op [i]; point [n] is the region exit.  [refine:false] skips
+    the {!Pqs} work entirely (counts equal the blind figures). *)
+
+val of_schedule :
+  ?refine:bool -> Liveness.t -> Prog.t -> Region.t -> ops:Op.t array
+  -> cycle:int array -> length:int -> t
+(** Exact per-cycle live counts for a schedule of the region given as
+    program-ordered [ops] with per-op issue [cycle]s (the fields of
+    [Cpr_sched.Schedule.t]). *)
+
+val contribution : t -> Reg.cls -> int -> int
+(** [contribution t cls i] (sweep results only): net change in the blind
+    live count of [cls] across op [i] — positive when the op lengthens
+    pressure, negative when its operands die. *)
+
+val pp : Format.formatter -> t -> unit

@@ -5,6 +5,8 @@ type t = {
   hot_region_fraction : float;
   height_gate : bool;
   height_slack_min : int;
+  pressure_gate : bool;
+  pressure_margin : int;
 }
 
 let default =
@@ -17,6 +19,10 @@ let default =
        published numbers (Table 2) are reproduced without the gate. *)
     height_gate = false;
     height_slack_min = 1;
+    (* Off by default for the same reason as [height_gate]: Table 2 is
+       reproduced without it, and the paper's cost model is cycles-only. *)
+    pressure_gate = false;
+    pressure_margin = 2;
   }
 
 (* Section 7: "the further development of distinct heuristics for each

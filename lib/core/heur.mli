@@ -29,6 +29,17 @@ type t = {
       (** minimum per-branch scheduling slack (cycles of freedom off the
           critical path, {!Height.slack}) before the gate may skip a
           block; higher values make the gate more conservative *)
+  pressure_gate : bool;
+      (** when set, skip candidate CPR blocks (and [Fullcpr] regions)
+          whose predicted predicate/GPR pressure delta would push the
+          region's static MAXLIVE ({!Cpr_analysis.Pressure}) past the
+          machine's register file less {!pressure_margin}: an
+          unallocatable region costs spills the cycles-only model never
+          sees.  Off by default — the baseline output is reproduced
+          byte-for-byte with the gate off. *)
+  pressure_margin : int;
+      (** registers of headroom the pressure gate keeps free per class;
+          higher values make the gate skip more aggressively *)
 }
 
 val default : t

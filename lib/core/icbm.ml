@@ -382,11 +382,54 @@ let height_gate heur graph ops refs =
     keep
   end
 
+(* Resource gate (behind [Heur.pressure_gate]): bypassing a CPR block
+   mints two fresh FRPs (p_on/p_off in {!Restructure.transform_block})
+   and, except for taken-variation blocks, one btr for the bypass pbr —
+   and the bypass lengthens live ranges across the block.  When the
+   region's predicted MAXLIVE (predicate-aware {!Pressure.sweep}) plus
+   the cumulative delta of the blocks kept so far would not leave
+   [pressure_margin] registers of headroom in the register file, the
+   block is skipped: an unallocatable region costs spills the paper's
+   cycles-only model never sees.  Like the height gate, budgets are
+   measured on the medium machine. *)
+let c_pressure_skipped = Obs.counter "pressure.candidates_skipped"
+
+let pressure_gate heur prog liveness (region : Region.t) refs =
+  if not heur.Heur.pressure_gate || refs = [] then refs
+  else begin
+    let p = Cpr_analysis.Pressure.sweep liveness prog region in
+    let m = Cpr_machine.Descr.medium in
+    let budget cls =
+      Cpr_machine.Descr.regfile_size m cls - heur.Heur.pressure_margin
+    in
+    (* CPR mints no fresh GPRs, but longer ranges leave no room to spare
+       in a region already at the GPR budget. *)
+    let gpr_ok = Cpr_analysis.Pressure.maxlive p Reg.Gpr <= budget Reg.Gpr in
+    let pred_live = Cpr_analysis.Pressure.maxlive p Reg.Pred in
+    let btr_live = Cpr_analysis.Pressure.maxlive p Reg.Btr in
+    let kept = ref 0 in
+    let keep, skipped =
+      List.partition
+        (fun (_ : Restructure.block_ref) ->
+          let fits =
+            gpr_ok
+            && pred_live + (2 * (!kept + 1)) <= budget Reg.Pred
+            && btr_live + !kept + 1 <= budget Reg.Btr
+          in
+          if fits then incr kept;
+          fits)
+        refs
+    in
+    Obs.add c_pressure_skipped (List.length skipped);
+    keep
+  end
+
 let transform_region heur prog liveness (region : Region.t) =
   let blocks = Match_blocks.run heur prog liveness region in
   let ops = Array.of_list region.Region.ops in
   let graph = Depgraph.build Cpr_machine.Descr.medium prog liveness region in
   let refs = height_gate heur graph ops (to_block_refs ops blocks) in
+  let refs = pressure_gate heur prog liveness region refs in
   let legal, demoted =
     List.partition (fun b -> block_legal liveness region graph ops b) refs
   in

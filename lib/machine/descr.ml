@@ -15,10 +15,17 @@ type issue =
     }
   | Sequential
 
+type regfile = {
+  gprs : int;
+  preds : int;
+  btrs : int;
+}
+
 type t = {
   name : string;
   issue : issue;
   latency : Op.opcode -> int;
+  files : regfile;
 }
 
 let fu_of_op (op : Op.t) =
@@ -44,15 +51,42 @@ let paper_latency = function
 
 let latency_of t (op : Op.t) = t.latency op.Op.opcode
 
-let regular name i f m b =
-  { name; issue = Regular { i; f; m; b }; latency = paper_latency }
+(* Register-file sizes scale with issue width, HPL-PD style: PlayDoh's
+   baseline files are 32 GPRs / 32 one-bit predicates / 8 branch-target
+   registers, and wider machines get proportionally larger files.  The
+   sequential machine models a minimal scalar core with a small predicate
+   file; the infinite machine is effectively unconstrained. *)
+let regular ?(files = { gprs = 64; preds = 64; btrs = 8 }) name i f m b =
+  { name; issue = Regular { i; f; m; b }; latency = paper_latency; files }
 
-let sequential = { name = "Seq"; issue = Sequential; latency = paper_latency }
-let narrow = regular "Nar" 2 1 1 1
-let medium = regular "Med" 4 2 2 1
-let wide = regular "Wid" 8 4 4 2
-let infinite = regular "Inf" 75 25 25 25
+let sequential =
+  {
+    name = "Seq";
+    issue = Sequential;
+    latency = paper_latency;
+    files = { gprs = 32; preds = 16; btrs = 4 };
+  }
+
+(* FRP conversion deliberately keeps every exit's prepare-to-branch on
+   trace, so post-CPR regions of the shipped workloads hold up to ~17
+   branch targets and ~70 GPRs live at once — the medium files (IA-64
+   sized for GPRs/preds, btrs scaled for the FRP shape) leave headroom
+   over that. *)
+let narrow = regular ~files:{ gprs = 64; preds = 32; btrs = 16 } "Nar" 2 1 1 1
+let medium = regular ~files:{ gprs = 128; preds = 64; btrs = 24 } "Med" 4 2 2 1
+
+let wide =
+  regular ~files:{ gprs = 256; preds = 128; btrs = 32 } "Wid" 8 4 4 2
+
+let infinite =
+  regular ~files:{ gprs = 1024; preds = 1024; btrs = 256 } "Inf" 75 25 25 25
+
 let all = [ sequential; narrow; medium; wide; infinite ]
+
+let regfile_size t = function
+  | Reg.Gpr -> t.files.gprs
+  | Reg.Pred -> t.files.preds
+  | Reg.Btr -> t.files.btrs
 
 let slots t fu =
   match t.issue with

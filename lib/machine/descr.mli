@@ -23,10 +23,18 @@ type issue =
     }
   | Sequential  (** exactly one operation of any type per cycle *)
 
+type regfile = {
+  gprs : int;
+  preds : int;
+  btrs : int;
+}
+(** Architectural register-file sizes, one capacity per {!Reg.cls}. *)
+
 type t = {
   name : string;
   issue : issue;
   latency : Op.opcode -> int;
+  files : regfile;
 }
 
 val fu_of_op : Op.t -> fu
@@ -53,6 +61,12 @@ val infinite : t
 
 val all : t list
 (** The five machines in the paper's column order. *)
+
+val regfile_size : t -> Reg.cls -> int
+(** Architectural register-file capacity for a class.  The paper's cost
+    model is cycles-only; these sizes (HPL-PD-flavoured, scaled with
+    issue width) give the pressure analyzer a budget to lint and gate
+    against.  The infinite machine is effectively unconstrained. *)
 
 val slots : t -> fu -> int
 (** Per-cycle issue slots for a class; [max_int] conventions are avoided —

@@ -85,6 +85,15 @@ let render ?(pqs = []) ~date ~domains ~results ~micro ~par () =
         "      \"height\": { \"bound_cycles\": %d, \"achieved_cycles\": \
          %d, \"gap\": %.4f },\n"
         r.Report.bound_cycles r.Report.achieved_cycles r.Report.height_gap;
+      if r.Report.pressure <> [] then begin
+        add "      \"pressure\": {";
+        List.iteri
+          (fun j (cls, v) ->
+            add "%s \"%s_maxlive\": %d" (if j = 0 then "" else ",")
+              (json_escape cls) v)
+          r.Report.pressure;
+        add " },\n"
+      end;
       let cycles key l =
         add "      \"%s\": {" key;
         List.iteri
@@ -221,9 +230,33 @@ let find_sub s sub =
   in
   go 0
 
-(* The per-benchmark height line: ["height": { ..., "gap": F },] inside
-   the entry whose ["name":] line last preceded it. *)
-let read_height contents =
+(* A ["key": value] field anywhere in a single line (the height and
+   pressure objects are rendered on one line each). *)
+let field_after line key =
+  let kp = Printf.sprintf "\"%s\":" key in
+  match find_sub line kp with
+  | None -> None
+  | Some i ->
+    let rest =
+      String.trim
+        (String.sub line
+           (i + String.length kp)
+           (String.length line - i - String.length kp))
+    in
+    let stop =
+      match String.index_opt rest ' ' with
+      | Some j -> j
+      | None -> String.length rest
+    in
+    Some (strip_comma (String.sub rest 0 stop))
+
+let float_field line key = Option.bind (field_after line key) float_of_string_opt
+let int_field line key = Option.bind (field_after line key) int_of_string_opt
+
+(* Per-benchmark single-line objects (["height": {...}] and
+   ["pressure": {...}]) inside the entry whose ["name":] line last
+   preceded them. *)
+let read_entry_lines ~prefix ~f contents =
   let entries = ref [] in
   let current = ref None in
   List.iter
@@ -236,38 +269,66 @@ let read_height contents =
         | Some q -> current := Some (String.sub line np (q - np))
         | None -> current := None
       end
-      else
-        let hp = "\"height\":" in
-        if
-          String.length line >= String.length hp
-          && String.sub line 0 (String.length hp) = hp
-        then
-          let gp = "\"gap\":" in
-          match !current with
-          | None -> ()
-          | Some name -> (
-            match find_sub line gp with
-            | None -> ()
-            | Some i ->
-              let rest =
-                String.sub line
-                  (i + String.length gp)
-                  (String.length line - i - String.length gp)
-              in
-              let rest = String.trim rest in
-              let stop =
-                match String.index_opt rest ' ' with
-                | Some j -> j
-                | None -> String.length rest
-              in
-              (match
-                 float_of_string_opt
-                   (strip_comma (String.sub rest 0 stop))
-               with
-              | Some g -> entries := (name, g) :: !entries
-              | None -> ())))
+      else if
+        String.length line >= String.length prefix
+        && String.sub line 0 (String.length prefix) = prefix
+      then
+        match !current with
+        | None -> ()
+        | Some name -> (
+          match f line with
+          | Some v -> entries := (name, v) :: !entries
+          | None -> ()))
     (String.split_on_char '\n' contents);
   List.rev !entries
+
+type height_entry = {
+  gap : float;
+  h_bound : int;
+  h_achieved : int;
+}
+
+let read_height contents =
+  read_entry_lines ~prefix:"\"height\":" contents ~f:(fun line ->
+      match
+        (float_field line "gap", int_field line "bound_cycles",
+         int_field line "achieved_cycles")
+      with
+      | Some gap, Some h_bound, Some h_achieved ->
+        Some { gap; h_bound; h_achieved }
+      | _ -> None)
+
+let read_pressure contents =
+  read_entry_lines ~prefix:"\"pressure\":" contents ~f:(fun line ->
+      let classes = [ "gpr"; "pred"; "btr" ] in
+      let vals =
+        List.filter_map
+          (fun cls ->
+            Option.map (fun v -> (cls, v)) (int_field line (cls ^ "_maxlive")))
+          classes
+      in
+      if vals = [] then None else Some vals)
+
+(* Warn-only regression tests for the quality metrics, shared by bench
+   --check and its unit tests.
+
+   The height gap is a ratio: on a tiny workload one cycle of schedule
+   noise swings it past any percentage tolerance, so a regression must
+   also grow the *absolute* cycle gap by at least
+   [height_gap_floor_cycles] — the schedule-quality analogue of the 20ms
+   wall-clock noise floor. *)
+let height_gap_floor_cycles = 2
+
+let height_regressed ~base ~cur =
+  let abs_gap e = e.h_achieved - e.h_bound in
+  cur.gap > base.gap +. 0.01
+  && abs_gap cur - abs_gap base >= height_gap_floor_cycles
+
+(* MAXLIVE counts are small integers; a couple of registers of movement
+   is routine when block formation shifts. *)
+let pressure_floor_regs = 2
+
+let pressure_regressed ~base ~cur = cur - base > pressure_floor_regs
 
 (* ------------------------------------------------------------------ *)
 (* Baseline comparison                                                 *)

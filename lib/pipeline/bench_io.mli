@@ -60,13 +60,41 @@ val read_micro : string -> (string * float) list
 val read_workloads : string -> (string * float * float) list
 (** [(name, verify_s, total_s)] per entry of the [benchmarks] array. *)
 
-val read_height : string -> (string * float) list
-(** [(name, height_gap)] per entry of the [benchmarks] array (entries
-    predating the height triple are absent).  [bench --check] warns —
-    without failing — when a workload's gap grows past the baseline's:
-    schedule quality is a trajectory signal, not a hard gate, because
-    the gap also moves when the optimizer legitimately changes the
-    code. *)
+type height_entry = {
+  gap : float;
+  h_bound : int;  (** [bound_cycles] *)
+  h_achieved : int;  (** [achieved_cycles] *)
+}
+
+val read_height : string -> (string * height_entry) list
+(** One entry per element of the [benchmarks] array (entries predating
+    the height triple are absent).  [bench --check] warns — without
+    failing — when a workload's gap grows past the baseline's: schedule
+    quality is a trajectory signal, not a hard gate, because the gap
+    also moves when the optimizer legitimately changes the code. *)
+
+val read_pressure : string -> (string * (string * int) list) list
+(** [(name, [class, maxlive; ...])] per entry of the [benchmarks] array
+    carrying a ["pressure"] object (older baselines have none). *)
+
+val height_gap_floor_cycles : int
+(** 2: minimum growth of the {e absolute} cycle gap
+    ([achieved - bound]) before a height-gap warning fires — the ratio
+    alone flaps on tiny workloads where one cycle of schedule noise is
+    a large percentage. *)
+
+val height_regressed : base:height_entry -> cur:height_entry -> bool
+(** The [bench --check] height-gap warning test: the gap ratio grew
+    past the baseline by more than a percentage point {e and} the
+    absolute cycle gap grew by at least {!height_gap_floor_cycles}. *)
+
+val pressure_floor_regs : int
+(** 2: registers of MAXLIVE growth ignored as noise by
+    {!pressure_regressed}. *)
+
+val pressure_regressed : base:int -> cur:int -> bool
+(** The [bench --check] per-class pressure warning test (warn-only,
+    like the height gap). *)
 
 (** {2 Baseline comparison — the CI perf gate} *)
 

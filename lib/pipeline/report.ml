@@ -17,6 +17,7 @@ type result = {
   bound_cycles : int;
   achieved_cycles : int;
   height_gap : float;
+  pressure : (string * int) list;
   verify_s : float;
   total_s : float;
 }
@@ -73,6 +74,16 @@ let run ?heur ?(recover = true) ?bundle_dir ~name prog inputs =
     if bound_cycles = 0 then 0.
     else float_of_int (achieved_cycles - bound_cycles) /. float_of_int bound_cycles
   in
+  (* Register-pressure summary of the transformed program (worst region,
+     predicate-aware scheduled MAXLIVE per class, medium machine) — the
+     resource half of the cost CPR pays for its height win; tracked by
+     bench --check warn-only like the height gap. *)
+  let pressure =
+    List.map
+      (fun (cls, v) -> (Cpr_verify.Pressurecheck.cls_name cls, v))
+      (Cpr_verify.Pressurecheck.summary ~machine:Descr.medium
+         reduced.Passes.prog)
+  in
   let sb = Stats_ir.of_prog base.Passes.prog in
   let sr = Stats_ir.of_prog reduced.Passes.prog in
   let s_tot, s_br, d_tot, d_br = Stats_ir.ratio sr sb in
@@ -94,6 +105,7 @@ let run ?heur ?(recover = true) ?bundle_dir ~name prog inputs =
     bound_cycles;
     achieved_cycles;
     height_gap;
+    pressure;
     verify_s = !verify_time;
     total_s = Unix.gettimeofday () -. t0;
   }

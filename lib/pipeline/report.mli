@@ -34,6 +34,12 @@ type result = {
   height_gap : float;
       (** [(achieved - bound) / bound]; 0 when the schedule is provably
           optimal against the static model *)
+  pressure : (string * int) list;
+      (** class name ("gpr"/"pred"/"btr") -> worst-region predicate-aware
+          scheduled MAXLIVE of the height-reduced code on the medium
+          machine ({!Cpr_verify.Pressurecheck.summary}): the register
+          cost paid for the height win, tracked warn-only by
+          [bench --check] *)
   verify_s : float;
       (** wall time the static verifier spent on this benchmark (both
           compiled codes); tracked by [bench --json] against its

@@ -29,16 +29,8 @@ let region_row machine prog live (r : Region.t) =
     achieved = sched.Cpr_sched.Schedule.length;
   }
 
-let regions_of prog =
-  let reachable = Dataflow.reachable_labels prog in
-  List.filter
-    (fun (r : Region.t) ->
-      Hashtbl.mem reachable r.Region.label && r.Region.ops <> [])
-    (Prog.regions prog)
-
 let rows ?(machine = Descr.medium) prog =
-  let live = Liveness.analyze prog in
-  List.map (region_row machine prog live) (regions_of prog)
+  Sweep.map_regions prog ~f:(region_row machine prog)
 
 (* A side exit is "cold" when its profiled taken fraction stays at or
    below the default exit-weight threshold — the same notion CPR block
@@ -113,7 +105,5 @@ let check_region machine ~factor ~missed ~stats prog live (r : Region.t) =
 
 let check ?(machine = Descr.medium) ?(factor = 2.0) ?(missed = false) ~stats
     prog =
-  let live = Liveness.analyze prog in
-  List.concat_map
-    (check_region machine ~factor ~missed ~stats prog live)
-    (regions_of prog)
+  Sweep.concat_map_regions prog
+    ~f:(fun live r -> check_region machine ~factor ~missed ~stats prog live r)

@@ -1,0 +1,106 @@
+open Cpr_ir
+module Pressure = Cpr_analysis.Pressure
+module Descr = Cpr_machine.Descr
+module List_sched = Cpr_sched.List_sched
+
+type row = {
+  region : string;
+  cls : Reg.cls;
+  sweep_maxlive : int;
+  sched_maxlive : int;
+  maxlive_blind : int;
+  file_size : int;
+  margin : int;
+}
+
+let cls_name = function
+  | Reg.Gpr -> "gpr"
+  | Reg.Pred -> "pred"
+  | Reg.Btr -> "btr"
+
+let classes = [ Reg.Gpr; Reg.Pred; Reg.Btr ]
+
+let region_rows machine prog live (r : Region.t) =
+  let sw = Pressure.sweep live prog r in
+  let sched = List_sched.schedule machine prog live r in
+  let sc =
+    Pressure.of_schedule live prog r ~ops:sched.Cpr_sched.Schedule.ops
+      ~cycle:sched.Cpr_sched.Schedule.cycle
+      ~length:sched.Cpr_sched.Schedule.length
+  in
+  List.map
+    (fun cls ->
+      let sweep_maxlive = Pressure.maxlive sw cls in
+      let sched_maxlive = Pressure.maxlive sc cls in
+      let file_size = Descr.regfile_size machine cls in
+      {
+        region = r.Region.label;
+        cls;
+        sweep_maxlive;
+        sched_maxlive;
+        maxlive_blind =
+          max (Pressure.maxlive_blind sw cls) (Pressure.maxlive_blind sc cls);
+        file_size;
+        margin = file_size - max sweep_maxlive sched_maxlive;
+      })
+    classes
+
+let rows ?(machine = Descr.medium) prog =
+  List.concat (Sweep.map_regions prog ~f:(region_rows machine prog))
+
+(* Program-level figure per class: the worst region's scheduled
+   (allocator-visible) predicate-aware MAXLIVE. *)
+let summary ?(machine = Descr.medium) prog =
+  let rs = rows ~machine prog in
+  List.map
+    (fun cls ->
+      ( cls,
+        List.fold_left
+          (fun acc row -> if row.cls = cls then max acc row.sched_maxlive else acc)
+          0 rs ))
+    classes
+
+let check ?(machine = Descr.medium) ?(growth_factor = 1.5) ?baseline ~stats
+    prog =
+  let rs = rows ~machine prog in
+  let findings = ref [] in
+  List.iter
+    (fun row ->
+      (* Allocatability is judged on the scheduled count — that is the
+         pressure a post-scheduling allocator actually faces; the sweep
+         is reported for context but scheduling may legitimately exceed
+         it by overlapping lifetimes. *)
+      if row.sched_maxlive > row.file_size then
+        findings :=
+          Finding.make ~check:"pressure-unallocatable" ~severity:Finding.Error
+            ~region:row.region ~subject:(cls_name row.cls)
+            (Printf.sprintf
+               "%s MAXLIVE %d exceeds the %d-register %s file of %s — the \
+                region cannot be allocated without spill code"
+               (cls_name row.cls) row.sched_maxlive row.file_size
+               (cls_name row.cls) machine.Descr.name)
+          :: !findings
+      else stats.Finding.proved <- stats.Finding.proved + 1)
+    rs;
+  (match baseline with
+  | None -> ()
+  | Some before ->
+    let base = summary ~machine before in
+    List.iter
+      (fun (cls, cur) ->
+        let b = List.assoc cls base in
+        (* Small absolute grace on top of the ratio: CPR legitimately
+           mints a handful of FRPs, and tiny baselines (maxlive 1-2)
+           would otherwise flag any growth at all. *)
+        if cur > int_of_float (growth_factor *. float_of_int b) + 4 then
+          findings :=
+            Finding.make ~check:"pressure-growth" ~severity:Finding.Warning
+              ~region:"(program)" ~subject:(cls_name cls)
+              (Printf.sprintf
+                 "%s MAXLIVE grew from %d to %d (more than %.1fx + 4) across \
+                  the transformation — CPR is trading register pressure for \
+                  height"
+                 (cls_name cls) b cur growth_factor)
+            :: !findings)
+      (summary ~machine prog));
+  List.rev !findings

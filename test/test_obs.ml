@@ -331,6 +331,80 @@ let test_check_warns_missing_baseline () =
     "missing workload never regresses the gate" 0
     (List.length (B.regressions deltas))
 
+let quality_json =
+  (* The single-line height/pressure objects exactly as render writes
+     them, inside a benchmarks entry. *)
+  String.concat "\n"
+    [
+      "{";
+      "  \"benchmarks\": [";
+      "    { \"name\": \"w1\",";
+      "      \"verify_s\": 0.1,";
+      "      \"total_s\": 1.0,";
+      "      \"height\": { \"bound_cycles\": 100, \"achieved_cycles\": 110, \
+       \"gap\": 0.1000 },";
+      "      \"pressure\": { \"gpr_maxlive\": 14, \"pred_maxlive\": 5, \
+       \"btr_maxlive\": 4 },";
+      "      \"baseline_cycles\": { \"Seq\": 1 } },";
+      "    { \"name\": \"w2\",";
+      "      \"verify_s\": 0.2,";
+      "      \"total_s\": 2.0,";
+      "      \"height\": { \"bound_cycles\": 50, \"achieved_cycles\": 50, \
+       \"gap\": 0.0000 },";
+      "      \"baseline_cycles\": { \"Seq\": 1 } }";
+      "  ]";
+      "}";
+    ]
+
+let test_read_height_and_pressure () =
+  (match B.read_height quality_json with
+  | [ ("w1", h1); ("w2", h2) ] ->
+    Alcotest.(check (float 1e-9)) "w1 gap" 0.1 h1.B.gap;
+    Alcotest.(check int) "w1 bound" 100 h1.B.h_bound;
+    Alcotest.(check int) "w1 achieved" 110 h1.B.h_achieved;
+    Alcotest.(check int) "w2 abs gap" 0 (h2.B.h_achieved - h2.B.h_bound)
+  | hs -> Alcotest.failf "expected 2 height entries, got %d" (List.length hs));
+  match B.read_pressure quality_json with
+  | [ ("w1", classes) ] ->
+    Alcotest.(check (list (pair string int)))
+      "w1 classes"
+      [ ("gpr", 14); ("pred", 5); ("btr", 4) ]
+      classes
+  | ps ->
+    Alcotest.failf "expected 1 pressure entry (w2 predates the object), \
+                    got %d"
+      (List.length ps)
+
+let test_height_gap_floor () =
+  let e gap h_bound h_achieved = { B.gap; h_bound; h_achieved } in
+  (* The historical flap: a 1-cycle schedule blip on a tiny workload is
+     a huge ratio move but must stay below the absolute floor. *)
+  Alcotest.(check bool)
+    "one cycle on a tiny workload is noise" false
+    (B.height_regressed ~base:(e 0.0 10 10) ~cur:(e 0.1 10 11));
+  Alcotest.(check bool)
+    "two cycles past the ratio tolerance regresses" true
+    (B.height_regressed ~base:(e 0.0 10 10) ~cur:(e 0.2 10 12));
+  (* A large absolute move that barely changes the ratio on a big
+     workload is below the percentage-point test. *)
+  Alcotest.(check bool)
+    "ratio within a point is not a regression" false
+    (B.height_regressed ~base:(e 0.100 1000 1100) ~cur:(e 0.105 1000 1105));
+  Alcotest.(check bool)
+    "improvement never regresses" false
+    (B.height_regressed ~base:(e 0.2 10 12) ~cur:(e 0.0 10 10))
+
+let test_pressure_floor () =
+  Alcotest.(check bool)
+    "within the floor is noise" false
+    (B.pressure_regressed ~base:10 ~cur:12);
+  Alcotest.(check bool)
+    "past the floor regresses" true
+    (B.pressure_regressed ~base:10 ~cur:13);
+  Alcotest.(check bool)
+    "improvement never regresses" false
+    (B.pressure_regressed ~base:12 ~cur:10)
+
 let test_render_pqs_counters () =
   let contents =
     B.render
@@ -393,6 +467,12 @@ let suite =
         test_check_ignores_unmatched;
       Alcotest.test_case "perf gate lists missing baseline workloads" `Quick
         test_check_warns_missing_baseline;
+      Alcotest.test_case "bench read_height / read_pressure" `Quick
+        test_read_height_and_pressure;
+      Alcotest.test_case "height-gap warning absolute floor" `Quick
+        test_height_gap_floor;
+      Alcotest.test_case "pressure warning absolute floor" `Quick
+        test_pressure_floor;
       Alcotest.test_case "bench json pqs counters" `Quick
         test_render_pqs_counters;
     ] )
